@@ -1,0 +1,59 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints it as an aligned text table (plus the paper's reference numbers
+where applicable).  ``--benchmark-only`` runs exactly these.
+"""
+
+from typing import Iterable, Sequence
+
+import pytest
+
+_CAPMAN = [None]
+
+
+def pytest_configure(config):
+    # tables must reach the real stdout (and the tee'd bench_output.txt)
+    # even though the benchmarks pass; route them around pytest capture
+    _CAPMAN[0] = config.pluginmanager.getplugin("capturemanager")
+
+
+def _emit(text: str) -> None:
+    capman = _CAPMAN[0]
+    if capman is not None:
+        with capman.global_and_fixture_disabled():
+            print(text)
+    else:  # pragma: no cover - plain invocation
+        print(text)
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]):
+    """Print an aligned table with a title banner (bypassing capture)."""
+    rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    line = "-+-".join("-" * w for w in widths)
+    out = [f"\n=== {title} ===",
+           " | ".join(str(h).ljust(w) for h, w in zip(headers, widths)),
+           line]
+    for row in rows:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    _emit("\n".join(out))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""The §9 anemometer deployment: TCPlp vs CoAP on sleepy sensors.
+
+Builds the office-testbed mesh (border router, four always-on routers,
+four duty-cycled anemometer leaves at 3-5 hops), runs the 1 Hz sensing
+workload with batching over both transports, and reports the paper's
+§9 metrics: reliability, radio duty cycle, CPU duty cycle, and
+transport retransmissions — first in clean conditions, then with 15 %
+packet loss injected at the border router (where CoCoA's RTO
+inflation shows its teeth).
+
+Run:  python examples/anemometer_deployment.py
+"""
+
+from repro.experiments.exp_app import run_app_study
+from repro.experiments.plotting import render_network_map
+from repro.experiments.topology import build_testbed
+
+
+def show(label: str, result) -> None:
+    print(f"  {label:18s} reliability {result.reliability * 100:5.1f} %   "
+          f"radio {result.radio_duty_cycle * 100:5.2f} %   "
+          f"cpu {result.cpu_duty_cycle * 100:5.2f} %   "
+          f"retx {result.retransmissions:4d}   "
+          f"queue overflows {result.overflowed}")
+
+
+def main() -> None:
+    duration, warmup = 900.0, 120.0
+
+    print("The Figure 3-style testbed ([1] = border router, (n) = "
+          "anemometer leaves, dots = uplink routes):")
+    print(render_network_map(build_testbed(seed=0, sleepy_leaves=False)))
+    print()
+
+    print("Clean conditions (night), batching 64 readings:")
+    for protocol in ("tcp", "coap", "cocoa"):
+        show(protocol, run_app_study(protocol, batching=True,
+                                     duration=duration, warmup=warmup))
+
+    print("\nNo batching (every reading sent immediately):")
+    for protocol in ("tcp", "coap"):
+        show(protocol, run_app_study(protocol, batching=False,
+                                     duration=duration, warmup=warmup))
+    print("  -> batching cuts both duty cycles severalfold (Figure 8)")
+
+    print("\n15 % packet loss injected at the border router (§9.4):")
+    for protocol in ("tcp", "coap", "cocoa"):
+        show(protocol, run_app_study(protocol, batching=True,
+                                     injected_loss=0.15,
+                                     duration=duration, warmup=warmup))
+    print("  -> TCP and CoAP hold near-full reliability; CoCoA's "
+          "retransmission-inflated RTT estimate stalls it until the "
+          "application queue overflows (Figure 9a)")
+
+    print("\nUnreliable CoAP (nonconfirmable) for §9.6's cost question:")
+    show("coap-unreliable", run_app_study("coap", batching=True,
+                                          confirmable=False,
+                                          duration=duration, warmup=warmup))
+    print("  -> reliability costs roughly 2-3x the duty cycle of the "
+          "unreliable alternative (Table 8)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""A microscope on LLN congestion control (§7.3 / Figure 7a).
+
+Runs a three-hop bulk transfer at d = 0 (so hidden terminals produce
+frequent segment losses), extracts the sender's cwnd trace, and renders
+it as ASCII art next to the loss-recovery statistics.  The punchline is
+the paper's: with a 4-segment window, cwnd spends almost all its time
+pinned at the maximum — TCP in LLNs is *robust* to loss, not fragile.
+
+Run:  python examples/congestion_microscope.py
+"""
+
+from repro.experiments.exp_retry_delay import run_fig7a_cwnd_trace
+from repro.experiments.plotting import render_series
+
+
+def main() -> None:
+    row = run_fig7a_cwnd_trace(duration=100.0)
+    series = row["cwnd_series"]
+    print("cwnd over 100 s of bulk transfer, 3 hops, d = 0 "
+          f"(max = {int(row['max_cwnd'])} B = 4 segments):\n")
+    print(render_series(series, y_label="cwnd (bytes)"))
+    print()
+    print(f"segment loss rate:        {row['segment_loss'] * 100:.1f} %")
+    print(f"fast retransmissions:     {row['fast_retransmits']}")
+    print(f"retransmission timeouts:  {row['timeouts']}")
+    print(f"time with cwnd >= 75% max: {row['fraction_near_max'] * 100:.0f} %")
+    print()
+    print("Despite the loss rate, cwnd hugs its ceiling: the window is so")
+    print("small that slow start refills it within a couple of RTTs after")
+    print("every loss event — the §7.3 observation that motivates the")
+    print("paper's Equation 2 performance model.")
+
+
+if __name__ == "__main__":
+    main()

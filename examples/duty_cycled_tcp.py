@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Appendix C: TCP over a duty-cycled link, fixed vs adaptive.
+
+Sweeps a fixed sleep interval to show TCP's self-clocking pinning the
+RTT to the interval (and goodput to w*MSS/interval), then runs the
+Trickle-based adaptive interval that restores near-always-on
+throughput at a ~0.1 % idle duty cycle.
+
+Run:  python examples/duty_cycled_tcp.py
+"""
+
+from repro.experiments.exp_duty import (
+    run_adaptive_duty_cycle,
+    run_duty_cycle_point,
+)
+
+
+def main() -> None:
+    print("Fixed sleep interval (uplink bulk transfer):")
+    print(f"{'interval':>10} {'goodput':>12} {'mean RTT':>10}")
+    for interval in (0.02, 0.1, 0.5, 1.0, 2.0):
+        row = run_duty_cycle_point(interval, uplink=True, duration=40.0)
+        print(f"{interval:>8.2f} s {row['goodput_kbps']:>9.1f} kb/s "
+              f"{row['rtt_mean']:>8.2f} s")
+    print("-> the RTT *is* the sleep interval (TCP self-clocking, §C.1);"
+          "\n   once w*MSS < bandwidth x interval, goodput collapses.\n")
+
+    print("Trickle-adaptive sleep interval (§C.2):")
+    for uplink in (True, False):
+        row = run_adaptive_duty_cycle(uplink=uplink, duration=40.0)
+        print(f"  {row['direction']:9s} goodput {row['goodput_kbps']:5.1f} kb/s "
+              f"(paper: {'68.6' if uplink else '55.6'}), "
+              f"idle duty cycle {row['idle_duty_cycle'] * 100:.3f} % "
+              f"(paper: ~0.1 %)")
+    print("-> bursts collapse the interval to 20 ms for throughput; an "
+          "idle link decays to 5 s polls for a ~0.1 % duty cycle.")
+
+
+if __name__ == "__main__":
+    main()

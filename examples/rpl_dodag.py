@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""RPL-lite: watch a DODAG form, then run TCP over the live routes.
+
+The pre-Thread LLN studies ran TCP over RPL (RFC 6550).  This example
+builds a 4-hop chain with *no* routing table, lets RPL's Trickle-timed
+DIOs and DAOs discover the topology, prints the DODAG as it converges,
+and finally runs a TCPlp bulk transfer over the routes RPL built.
+
+Run:  python examples/rpl_dodag.py
+"""
+
+from repro.core.simplified import tcplp_params
+from repro.core.socket_api import TcpStack
+from repro.experiments.topology import build_chain
+from repro.experiments.workload import BulkTransfer
+from repro.net.rpl import INFINITE_RANK, enable_rpl
+
+
+def dodag_snapshot(routing, nodes) -> str:
+    parts = []
+    for nid in sorted(nodes):
+        state = routing._nodes[nid]
+        rank = "inf" if state.rank == INFINITE_RANK else state.rank
+        parent = "-" if state.preferred_parent is None else state.preferred_parent
+        parts.append(f"{nid}(rank={rank},parent={parent})")
+    return "  ".join(parts)
+
+
+def main() -> None:
+    net = build_chain(4, seed=11, with_cloud=False)
+    for node in net.nodes.values():
+        node.mac.params.retry_delay = 0.04
+    routing = enable_rpl(net)
+
+    print("DODAG formation (root = node 0):")
+    for t in (1.0, 3.0, 8.0, 20.0, 40.0):
+        net.sim.run(until=t)
+        marker = "converged" if routing.converged() else "forming"
+        print(f"  t={t:5.1f}s [{marker:9s}] {dodag_snapshot(routing, net.nodes)}")
+
+    assert routing.converged(), "DODAG failed to converge"
+    print("\nDownward routes at the root:",
+          dict(sorted(routing._nodes[0].downward.items())))
+
+    print("\nTCPlp bulk transfer node 4 -> root over the RPL routes:")
+    src = TcpStack(net.sim, net.nodes[4].ipv6, 4)
+    dst = TcpStack(net.sim, net.nodes[0].ipv6, 0)
+    xfer = BulkTransfer(net.sim, src, dst, receiver_id=0,
+                        params=tcplp_params(window_segments=6),
+                        receiver_params=tcplp_params(window_segments=6))
+    result = xfer.measure(warmup=10.0, duration=30.0)
+    print(f"  goodput {result.goodput_kbps:.1f} kb/s over 4 hops "
+          f"(§7.2 measured 17.5 kb/s on static routes)")
+    dios = sum(n.trace.counters.get("rpl.dios_sent")
+               for n in net.nodes.values())
+    print(f"  total routing overhead so far: {dios} DIOs "
+          f"(Trickle has quieted to ~1 per 16 s per node)")
+
+
+if __name__ == "__main__":
+    main()

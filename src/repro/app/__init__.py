@@ -1,0 +1,48 @@
+"""Application layer: CoAP, CoCoA, and the anemometer workload.
+
+The paper's application study (§9) compares TCPlp against CoAP — the
+LLN-specialised reliability protocol — and CoCoA, CoAP with adaptive
+RTO estimation, on a real sensing workload:
+
+* :mod:`repro.app.coap` — CoAP messages (RFC 7252) over UDP with
+  confirmable retransmission, a loss-tolerant blockwise batch transfer
+  (the paper reimplemented blockwise because Californium's dropped a
+  whole batch on one lost block), and unreliable nonconfirmable mode
+  (Table 8's "Unrel." rows).
+* :mod:`repro.app.cocoa` — the CoCoA RTO estimator, including the weak
+  estimator that measures retransmitted exchanges from their *first*
+  transmission; that inflation is the §9.4 failure mode.
+* :mod:`repro.app.sensor` — the anemometer of §3: 82-byte readings at
+  1 Hz, an application-layer queue (64 readings for TCP, 104 for CoAP),
+  optional batching, and transport adapters for TCP and CoAP.
+"""
+
+from repro.app.coap import (
+    CoapClient,
+    CoapMessage,
+    CoapParams,
+    CoapServer,
+    CoapType,
+)
+from repro.app.cocoa import CocoaRtoEstimator
+from repro.app.sensor import (
+    AnemometerConfig,
+    AnemometerNode,
+    CoapTransport,
+    ReadingServer,
+    TcpTransport,
+)
+
+__all__ = [
+    "CoapMessage",
+    "CoapType",
+    "CoapParams",
+    "CoapClient",
+    "CoapServer",
+    "CocoaRtoEstimator",
+    "AnemometerConfig",
+    "AnemometerNode",
+    "ReadingServer",
+    "TcpTransport",
+    "CoapTransport",
+]

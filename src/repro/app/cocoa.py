@@ -1,0 +1,145 @@
+"""CoCoA: CoAP congestion control with RTT estimation (Betzler et al.).
+
+CoCoA keeps two RTO estimators:
+
+* the **strong** estimator, fed by exchanges that completed without any
+  retransmission (an unambiguous RTT), and
+* the **weak** estimator, fed by retransmitted exchanges whose RTT is
+  conservatively measured **from the first transmission** — which can
+  only overestimate.
+
+The overall RTO blends whichever estimator was updated last with its
+previous value, and the backoff factor varies with the RTO (small RTOs
+back off harder).  §9.4 of the paper shows the weak estimator's
+inflation is CoCoA's undoing in LLNs: at 15 % packet loss its RTO grows
+so large that the application queue overflows while CoCoA waits.  TCP
+with timestamps is immune because a retransmitted segment's echo still
+identifies which transmission the ACK answers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class CocoaRtoEstimator:
+    """The CoCoA RTO algorithm (weak/strong estimators, variable backoff)."""
+
+    K_STRONG = 4
+    K_WEAK = 1
+    ALPHA = 0.25
+    BETA = 0.125
+    #: weight of a fresh estimator value in the overall RTO
+    BLEND_STRONG = 0.5
+    BLEND_WEAK = 0.25
+    #: the er-cocoa Contiki port weights weak measurements like strong
+    #: ones (full variance multiplier and blend), which is what lets
+    #: backoff-inflated samples ratchet the RTO upward (§9.4)
+    K_WEAK_ER = 4
+    BLEND_WEAK_ER = 0.5
+
+    def __init__(
+        self,
+        initial_rto: float = 2.0,
+        rto_min: float = 0.05,
+        rto_max: float = 60.0,
+        mode: str = "er-cocoa",
+    ):
+        """``mode="er-cocoa"`` reproduces the behaviour of the Contiki
+        port the paper evaluated (§9.1, [19]): weak measurements —
+        taken from the *first* transmission, so inflated by backoff
+        waits — carry the same variance multiplier and blend weight as
+        strong ones, letting the RTO ratchet upward under loss (the
+        §9.4 failure; calibrated so the collapse begins between 9 % and
+        15 % injected loss as in Figure 9a).  ``mode="spec"`` uses the
+        published CoCoA weights (K_weak = 1, blend 0.25), under which
+        the ratchet stays bounded.
+        """
+        if mode not in ("er-cocoa", "spec"):
+            raise ValueError(f"unknown CoCoA mode {mode}")
+        self.mode = mode
+        self.initial_rto = initial_rto
+        self.rto_min = rto_min
+        self.rto_max = rto_max
+        self.rto = initial_rto
+        self._srtt_strong: Optional[float] = None
+        self._rttvar_strong = 0.0
+        self._srtt_weak: Optional[float] = None
+        self._rttvar_weak = 0.0
+        self.strong_samples = 0
+        self.weak_samples = 0
+        self._last_update: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def current_rto(self, now: Optional[float] = None) -> float:
+        """The RTO after CoCoA's aging rules.
+
+        An overly large estimate (> 3 s) left unused for 4x its value
+        decays as ``1 + RTO/2``; a small one (< 1 s) unused for 16x its
+        value doubles.  Aging is what keeps the weak-sample ratchet in
+        check at low loss rates — and what fails to at high ones.
+        """
+        if now is None or self._last_update is None:
+            return self.rto
+        while self.rto > 3.0 and now - self._last_update > 4 * self.rto:
+            self._last_update += 4 * self.rto
+            self.rto = 1.0 + self.rto / 2.0
+        if self.rto < 1.0 and now - self._last_update > 16 * self.rto:
+            self.rto = min(self.rto_max, 2 * self.rto)
+            self._last_update = now
+        return self.rto
+
+    def on_sample(self, rtt: float, weak: bool, now: Optional[float] = None) -> None:
+        """Fold in an exchange's RTT measurement."""
+        if rtt < 0:
+            raise ValueError("negative RTT")
+        self._last_update = now
+        if weak:
+            self.weak_samples += 1
+        else:
+            self.strong_samples += 1
+        if self.mode == "er-cocoa" and weak:
+            rto_est = self._update(rtt, weak=True, k=self.K_WEAK_ER)
+            blend = self.BLEND_WEAK_ER
+        else:
+            rto_est = self._update(rtt, weak=weak)
+            blend = self.BLEND_WEAK if weak else self.BLEND_STRONG
+        self.rto = blend * rto_est + (1 - blend) * self.rto
+        self.rto = min(self.rto_max, max(self.rto_min, self.rto))
+
+    def _update(self, rtt: float, weak: bool, k: Optional[int] = None) -> float:
+        if weak:
+            if self._srtt_weak is None:
+                self._srtt_weak = rtt
+                self._rttvar_weak = rtt / 2
+            else:
+                self._rttvar_weak = (1 - self.BETA) * self._rttvar_weak + (
+                    self.BETA * abs(self._srtt_weak - rtt)
+                )
+                self._srtt_weak = (1 - self.ALPHA) * self._srtt_weak + self.ALPHA * rtt
+            return self._srtt_weak + (k or self.K_WEAK) * self._rttvar_weak
+        if self._srtt_strong is None:
+            self._srtt_strong = rtt
+            self._rttvar_strong = rtt / 2
+        else:
+            self._rttvar_strong = (1 - self.BETA) * self._rttvar_strong + (
+                self.BETA * abs(self._srtt_strong - rtt)
+            )
+            self._srtt_strong = (
+                (1 - self.ALPHA) * self._srtt_strong + self.ALPHA * rtt
+            )
+        return self._srtt_strong + self.K_STRONG * self._rttvar_strong
+
+    # ------------------------------------------------------------------
+    def backoff_factor(self) -> float:
+        """CoCoA's variable backoff factor (VBF)."""
+        if self.rto < 1.0:
+            return 3.0
+        if self.rto <= 3.0:
+            return 2.0
+        return 1.5
+
+    def on_give_up(self) -> None:
+        """After MAX_RETRANSMIT failures CoCoA keeps its estimate (it
+        does not reset like stock CoAP); nothing to do, the method
+        exists so the client can treat estimators uniformly."""

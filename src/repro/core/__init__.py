@@ -1,0 +1,60 @@
+"""TCPlp: a full-scale TCP for low-power wireless networks.
+
+This package is the paper's primary contribution, reimplemented from
+the protocol logic of FreeBSD's TCP stack (the same lineage as TCPlp):
+
+* sliding window with New Reno congestion control (RFC 5681/6582),
+* RTO estimation (RFC 6298) with Karn's rule and TCP timestamps
+  (RFC 7323) so retransmitted segments still yield RTT samples — the
+  property that saves TCP from CoCoA's §9.4 failure mode,
+* selective acknowledgments (RFC 2018) with a FreeBSD-style scoreboard,
+* delayed ACKs, zero-window probes (persist timer), challenge ACKs,
+* ECN (RFC 3168), used with RED in Appendix A,
+* the memory-conscious buffer designs of §4.3: a zero-copy send buffer
+  and a flat circular receive buffer with an **in-place reassembly
+  queue** (out-of-order bytes parked in the same buffer, tracked by a
+  bitmap — Figure 1b),
+* the active/passive socket split of §4.1 (passive sockets hold only a
+  listener's worth of state).
+
+The simplified embedded stacks the paper compares against (uIP, BLIP,
+GNRC — Table 1) are expressed as feature-flag configurations in
+:mod:`repro.core.simplified`.
+"""
+
+from repro.core.buffers import ReceiveBuffer, SendBuffer
+from repro.core.congestion import NewRenoCongestion
+from repro.core.connection import TcpConnection, TcpState
+from repro.core.options import TcpOptions
+from repro.core.params import TcpParams, mss_for_frames
+from repro.core.rtt import RttEstimator
+from repro.core.sack import SackScoreboard
+from repro.core.segment import Segment
+from repro.core.simplified import (
+    blip_params,
+    gnrc_params,
+    tcplp_params,
+    uip_params,
+)
+from repro.core.socket_api import TcpListener, TcpSocket, TcpStack
+
+__all__ = [
+    "Segment",
+    "TcpOptions",
+    "TcpParams",
+    "mss_for_frames",
+    "SendBuffer",
+    "ReceiveBuffer",
+    "RttEstimator",
+    "NewRenoCongestion",
+    "SackScoreboard",
+    "TcpConnection",
+    "TcpState",
+    "TcpStack",
+    "TcpSocket",
+    "TcpListener",
+    "uip_params",
+    "blip_params",
+    "gnrc_params",
+    "tcplp_params",
+]

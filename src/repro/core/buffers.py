@@ -1,0 +1,170 @@
+"""TCP data buffering for memory-constrained nodes (paper §4.3).
+
+:class:`SendBuffer` models the zero-copy send buffer: a bounded byte
+store from which segments are *referenced*, never copied (§4.3.1 —
+zero-copy matters here for memory, not CPU).
+
+:class:`ReceiveBuffer` is the flat circular receive buffer with an
+**in-place reassembly queue** (§4.3.2, Figure 1b): out-of-order bytes
+are written into the same pre-allocated circular array, past the
+in-sequence data, with a bitmap recording which bytes are present.
+Memory use is deterministic — exactly ``capacity`` bytes plus the
+bitmap — unlike FreeBSD's mbuf chains, whose overhead depends on
+packetisation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.seqnum import seq_add
+
+
+class SendBuffer:
+    """A bounded FIFO byte store for unacknowledged outgoing data."""
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._data = bytearray()
+
+    @property
+    def used(self) -> int:
+        """Bytes buffered (sent-but-unacked plus not-yet-sent)."""
+        return len(self._data)
+
+    @property
+    def free(self) -> int:
+        """Bytes of space available to the application."""
+        return self.capacity - len(self._data)
+
+    def write(self, data: bytes) -> int:
+        """Append as much of ``data`` as fits; returns bytes accepted."""
+        accepted = min(len(data), self.free)
+        if accepted:
+            self._data += data[:accepted]
+        return accepted
+
+    def peek(self, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes starting ``offset`` bytes past the
+        oldest unacknowledged byte (used to build segments, including
+        retransmissions — data is referenced in place)."""
+        if offset < 0:
+            raise ValueError("negative offset")
+        return bytes(self._data[offset : offset + length])
+
+    def ack(self, nbytes: int) -> None:
+        """Release ``nbytes`` acknowledged bytes from the front."""
+        if nbytes < 0 or nbytes > len(self._data):
+            raise ValueError(f"cannot ack {nbytes} of {len(self._data)} bytes")
+        del self._data[:nbytes]
+
+
+class ReceiveBuffer:
+    """Circular receive buffer with in-place reassembly (Figure 1b)."""
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._buf = bytearray(capacity)
+        self._present = bytearray(capacity)  # the reassembly bitmap
+        self._read_pos = 0  # physical index of first unread in-seq byte
+        self._unread = 0  # in-sequence bytes the app has not read yet
+
+    # ------------------------------------------------------------------
+    # state inspection
+    # ------------------------------------------------------------------
+    @property
+    def available(self) -> int:
+        """In-sequence bytes ready for the application."""
+        return self._unread
+
+    @property
+    def window(self) -> int:
+        """Receive window to advertise: free space past rcv_nxt.
+
+        This is the Figure 1a relationship: window = capacity - buffered
+        in-sequence data.
+        """
+        return self.capacity - self._unread
+
+    def out_of_order_bytes(self) -> int:
+        """Bytes parked in the reassembly region (diagnostics)."""
+        total_present = sum(1 for b in self._present if b)
+        return total_present - self._unread
+
+    # ------------------------------------------------------------------
+    # writing (from the network)
+    # ------------------------------------------------------------------
+    def write(self, rel_offset: int, data: bytes) -> int:
+        """Insert ``data`` whose first byte is ``rel_offset`` bytes past
+        rcv_nxt (0 = exactly the next expected byte).
+
+        Bytes before rcv_nxt (retransmitted overlap) and beyond the
+        window are trimmed.  Returns how many bytes rcv_nxt advanced —
+        the caller moves its sequence state by exactly this amount.
+        """
+        if rel_offset < 0:
+            data = data[-rel_offset:]
+            rel_offset = 0
+        limit = self.capacity - self._unread  # the advertised window
+        if rel_offset >= limit:
+            return 0
+        data = data[: limit - rel_offset]
+        nxt = (self._read_pos + self._unread) % self.capacity
+        for i, byte in enumerate(data):
+            pos = (nxt + rel_offset + i) % self.capacity
+            self._buf[pos] = byte
+            self._present[pos] = 1
+        # absorb any now-contiguous prefix into the in-sequence region
+        advanced = 0
+        while advanced < limit and self._present[(nxt + advanced) % self.capacity]:
+            advanced += 1
+        self._unread += advanced
+        return advanced
+
+    # ------------------------------------------------------------------
+    # reading (by the application)
+    # ------------------------------------------------------------------
+    def read(self, max_bytes: Optional[int] = None) -> bytes:
+        """Consume up to ``max_bytes`` in-sequence bytes (all if None)."""
+        n = self._unread if max_bytes is None else min(max_bytes, self._unread)
+        out = bytearray(n)
+        for i in range(n):
+            pos = (self._read_pos + i) % self.capacity
+            out[i] = self._buf[pos]
+            self._present[pos] = 0
+        self._read_pos = (self._read_pos + n) % self.capacity
+        self._unread -= n
+        return bytes(out)
+
+    # ------------------------------------------------------------------
+    # SACK generation
+    # ------------------------------------------------------------------
+    def sack_ranges(self, rcv_nxt: int, max_blocks: int = 3) -> List[Tuple[int, int]]:
+        """SACK blocks for the out-of-order runs past rcv_nxt.
+
+        Returned in buffer order (the connection layer reorders for
+        recency if it cares); each block is [left, right) in sequence
+        space.
+        """
+        blocks: List[Tuple[int, int]] = []
+        nxt = (self._read_pos + self._unread) % self.capacity
+        limit = self.capacity - self._unread
+        run_start: Optional[int] = None
+        for off in range(limit):
+            present = self._present[(nxt + off) % self.capacity]
+            if present and run_start is None:
+                run_start = off
+            elif not present and run_start is not None:
+                blocks.append(
+                    (seq_add(rcv_nxt, run_start), seq_add(rcv_nxt, off))
+                )
+                run_start = None
+                if len(blocks) >= max_blocks:
+                    return blocks
+        if run_start is not None:
+            blocks.append((seq_add(rcv_nxt, run_start), seq_add(rcv_nxt, limit)))
+        return blocks[:max_blocks]

@@ -1,0 +1,158 @@
+"""The simplified embedded TCP stacks of Table 1 as feature profiles.
+
+The paper compares TCPlp against the TCP implementations that embedded
+stacks actually shipped (Table 1, Table 7):
+
+============== ===== ===== ===== ======
+feature         uIP   BLIP  GNRC  TCPlp
+============== ===== ===== ===== ======
+flow control    yes   yes   yes   yes
+congestion ctl  n/a   no    yes   yes
+RTT estimation  yes   no    yes   yes
+MSS option      yes   no    yes   yes
+timestamps      no    no    no    yes
+OOO reassembly  no    no    yes   yes
+selective ACKs  no    no    no    yes
+delayed ACKs    no    no    no    yes
+============== ===== ===== ===== ======
+
+uIP and BLIP additionally allow only a **single outstanding segment**
+(window = 1 MSS), which is what caps their throughput at stop-and-wait
+rates (Table 7).  We express every stack as a :class:`TcpParams`
+profile over the same protocol engine — the paper's point is precisely
+that these are feature subsets of one protocol.
+"""
+
+from __future__ import annotations
+
+from repro.core.params import TcpParams, mss_for_frames
+
+
+def uip_params(mss_frames: int = 1) -> TcpParams:
+    """uIP (Contiki): single segment in flight, no reassembly.
+
+    The [112] study used MSS = 1 frame; the [50] study used 4 frames.
+    """
+    mss = mss_for_frames(mss_frames)
+    return TcpParams(
+        mss=mss,
+        send_buffer=mss,  # one unACKed segment (stop-and-wait)
+        recv_buffer=mss,
+        congestion_control=False,  # N/A with a 1-segment window
+        rtt_estimation=True,
+        use_timestamps=False,
+        use_sack=False,
+        delayed_ack=False,
+        ooo_reassembly=False,
+        rto_initial=3.0,
+        rto_min=1.5,
+    )
+
+
+def blip_params(mss_frames: int = 1) -> TcpParams:
+    """BLIP (TinyOS): stop-and-wait with a fixed retransmission timer."""
+    mss = mss_for_frames(mss_frames)
+    return TcpParams(
+        mss=mss,
+        send_buffer=mss,
+        recv_buffer=mss,
+        congestion_control=False,
+        rtt_estimation=False,  # fixed RTO
+        use_timestamps=False,
+        use_sack=False,
+        delayed_ack=False,
+        ooo_reassembly=False,
+        rto_initial=3.0,
+        rto_min=3.0,
+    )
+
+
+def gnrc_params(mss_frames: int = 5, window_segments: int = 1) -> TcpParams:
+    """GNRC (RIOT): congestion control and reassembly, but a one-segment
+    send window in its shipped configuration."""
+    mss = mss_for_frames(mss_frames)
+    return TcpParams(
+        mss=mss,
+        send_buffer=window_segments * mss,
+        recv_buffer=window_segments * mss,
+        congestion_control=True,
+        rtt_estimation=True,
+        use_timestamps=False,
+        use_sack=False,
+        delayed_ack=False,
+        ooo_reassembly=True,
+        rto_min=1.0,
+    )
+
+
+def arch_rock_params() -> TcpParams:
+    """The Arch Rock stack of [53]: 1024-byte segments, 1-segment window."""
+    return TcpParams(
+        mss=1024,
+        send_buffer=1024,
+        recv_buffer=1024,
+        congestion_control=False,
+        rtt_estimation=True,
+        use_timestamps=False,
+        use_sack=False,
+        delayed_ack=False,
+        ooo_reassembly=False,
+        rto_initial=3.0,
+        rto_min=1.5,
+    )
+
+
+def tcplp_params(
+    mss_frames: int = 5,
+    window_segments: int = 4,
+    to_cloud: bool = False,
+    ecn: bool = False,
+) -> TcpParams:
+    """TCPlp's evaluation configuration (§6.2: 4-segment windows)."""
+    mss = mss_for_frames(mss_frames, to_cloud=to_cloud)
+    return TcpParams(
+        mss=mss,
+        send_buffer=window_segments * mss,
+        recv_buffer=window_segments * mss,
+        ecn=ecn,
+    )
+
+
+#: Table 1 rendered as data (used by the feature-matrix benchmark).
+FEATURE_MATRIX = {
+    "uIP": {
+        "flow_control": True, "congestion_control": None,
+        "rtt_estimation": True, "mss_option": True, "timestamps": False,
+        "ooo_reassembly": False, "sack": False, "delayed_acks": False,
+    },
+    "BLIP": {
+        "flow_control": True, "congestion_control": False,
+        "rtt_estimation": False, "mss_option": False, "timestamps": False,
+        "ooo_reassembly": False, "sack": False, "delayed_acks": False,
+    },
+    "GNRC": {
+        "flow_control": True, "congestion_control": True,
+        "rtt_estimation": True, "mss_option": True, "timestamps": False,
+        "ooo_reassembly": True, "sack": False, "delayed_acks": False,
+    },
+    "TCPlp": {
+        "flow_control": True, "congestion_control": True,
+        "rtt_estimation": True, "mss_option": True, "timestamps": True,
+        "ooo_reassembly": True, "sack": True, "delayed_acks": True,
+    },
+}
+
+
+def params_features(params: TcpParams) -> dict:
+    """Introspect a params profile into Table 1 feature columns."""
+    return {
+        "flow_control": True,
+        "congestion_control": params.congestion_control or None
+        if params.send_buffer <= params.mss
+        else params.congestion_control,
+        "rtt_estimation": params.rtt_estimation,
+        "timestamps": params.use_timestamps,
+        "ooo_reassembly": params.ooo_reassembly,
+        "sack": params.use_sack,
+        "delayed_acks": params.delayed_ack,
+    }

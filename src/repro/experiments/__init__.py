@@ -1,0 +1,24 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Each experiment module exposes a ``run_*`` function returning plain
+data rows (dataclasses/dicts) so benchmarks, examples, and tests share
+one code path.  :mod:`repro.experiments.topology` provides the shared
+network builders (single hop through the border router, §7 chains, and
+the §9 office-testbed mesh).
+"""
+
+from repro.experiments.topology import (
+    Network,
+    build_chain,
+    build_pair,
+    build_single_hop,
+    build_testbed,
+)
+
+__all__ = [
+    "Network",
+    "build_pair",
+    "build_single_hop",
+    "build_chain",
+    "build_testbed",
+]

@@ -1,0 +1,329 @@
+"""The §9 application study: anemometers over TCPlp vs CoAP vs CoCoA.
+
+Reproduces:
+
+* Figure 8 — radio/CPU duty cycle with and without batching
+  (favourable conditions);
+* Figure 9 — reliability, transport retransmissions, radio duty
+  cycle, and CPU duty cycle as uniform packet loss is injected at the
+  border router (0-21 %);
+* Table 8 / Figure 10 — a day in a lossy environment (diurnal
+  interference profile), including the unreliable (nonconfirmable
+  CoAP) rows;
+* the §9.6 cost-of-reliability comparison.
+
+Four leaves (nodes 12-15) sample at 1 Hz and ship readings to a cloud
+server through a 3-5 hop mesh, exactly the Figure 3 topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.app.coap import CoapClient
+from repro.app.cocoa import CocoaRtoEstimator
+from repro.app.sensor import (
+    AnemometerConfig,
+    AnemometerNode,
+    CoapTransport,
+    ReadingServer,
+    TcpTransport,
+)
+from repro.core.params import linux_like_params
+from repro.core.simplified import tcplp_params
+from repro.core.socket_api import TcpStack
+from repro.experiments.topology import CLOUD_ID, Network, build_testbed
+from repro.mac.poll import PollParams
+
+#: §9.2: leaves fast-poll at 100 ms while a transport ACK is expected
+LEAF_POLL = PollParams(poll_interval=240.0, fast_poll_interval=0.1,
+                       listen_window=0.1)
+
+
+@dataclass
+class AppRunResult:
+    """Per-protocol outcome of one application-study run."""
+
+    protocol: str
+    reliability: float
+    radio_duty_cycle: float
+    cpu_duty_cycle: float
+    retransmissions: int
+    rto_events: int
+    generated: int
+    delivered: int
+    overflowed: int
+
+
+def _leaf_duty_cycles(net: Network) -> Dict[str, float]:
+    leaves = [net.nodes[l] for l in net.leaf_ids]
+    return {
+        "radio": sum(n.radio_duty_cycle() for n in leaves) / len(leaves),
+        "cpu": sum(n.cpu_duty_cycle() for n in leaves) / len(leaves),
+    }
+
+
+def run_app_study(
+    protocol: str,
+    batching: bool = True,
+    injected_loss: float = 0.0,
+    duration: float = 1800.0,
+    warmup: float = 120.0,
+    seed: int = 0,
+    mss_frames: int = 5,
+    confirmable: bool = True,
+    sample_interval: float = 1.0,
+) -> AppRunResult:
+    """One run of the §9 workload.
+
+    ``protocol`` is "tcp", "coap", or "cocoa"; ``confirmable=False``
+    with "coap" gives Table 8's unreliable rows.  ``injected_loss`` is
+    the §9.4 uniform packet loss at the border router.
+    """
+    if protocol not in ("tcp", "coap", "cocoa"):
+        raise ValueError(f"unknown protocol {protocol}")
+    net = build_testbed(seed=seed, leaf_poll=LEAF_POLL, wired_loss=injected_loss)
+    server = ReadingServer(net.sim)
+    apps: List[AnemometerNode] = []
+    transports = []
+
+    if protocol == "tcp":
+        cloud_stack = TcpStack(net.sim, net.cloud, CLOUD_ID,
+                               default_params=linux_like_params())
+        server.attach_tcp(cloud_stack, port=8000)
+    else:
+        server.attach_coap(net.cloud)
+
+    for idx, leaf_id in enumerate(net.leaf_ids):
+        leaf = net.nodes[leaf_id]
+        if protocol == "tcp":
+            stack = TcpStack(net.sim, leaf.ipv6, leaf_id, trace=leaf.trace,
+                             cpu=leaf.radio.cpu, sleepy=leaf.sleepy)
+            transport = TcpTransport(
+                net.sim, stack, CLOUD_ID, server_port=8000,
+                params=tcplp_params(mss_frames=mss_frames, to_cloud=True),
+            )
+            queue_capacity = 64
+        else:
+            estimator = CocoaRtoEstimator() if protocol == "cocoa" else None
+            client = CoapClient(
+                net.sim, leaf.udp, net.rng, CLOUD_ID,
+                rto_estimator=estimator,
+                trace=leaf.trace,
+                on_ack_waiting=(
+                    leaf.sleepy.set_fast_poll if leaf.sleepy else None
+                ),
+            )
+            transport = CoapTransport(client, confirmable=confirmable)
+            queue_capacity = 104
+        config = AnemometerConfig(
+            queue_capacity=queue_capacity,
+            batching=batching,
+            batch_size=64,
+            sample_interval=sample_interval,
+            readings_per_message=_readings_per_message(mss_frames),
+        )
+        app = AnemometerNode(net.sim, transport, config)
+        # unsynchronised boot: stagger drains across the batch period
+        app.start(phase=idx * sample_interval * 64 / (len(net.leaf_ids) or 1))
+        apps.append(app)
+        transports.append(transport)
+
+    net.sim.run(until=warmup)
+    net.reset_meters()
+    delivered_before = server.total_readings()
+    generated_before = sum(a.generated for a in apps)
+    retx_before, rto_before = _transport_retransmissions(protocol, net, transports)
+    net.sim.run(until=warmup + duration)
+
+    generated = sum(a.generated for a in apps) - generated_before
+    delivered = server.total_readings() - delivered_before
+    retx, rtos = _transport_retransmissions(protocol, net, transports)
+    duty = _leaf_duty_cycles(net)
+    return AppRunResult(
+        protocol=protocol if confirmable else f"{protocol}-unreliable",
+        reliability=min(1.0, delivered / generated) if generated else 1.0,
+        radio_duty_cycle=duty["radio"],
+        cpu_duty_cycle=duty["cpu"],
+        retransmissions=retx - retx_before,
+        rto_events=rtos - rto_before,
+        generated=generated,
+        delivered=delivered,
+        overflowed=sum(a.overflowed for a in apps),
+    )
+
+
+def _readings_per_message(mss_frames: int) -> int:
+    from repro.core.params import mss_for_frames
+
+    return max(1, mss_for_frames(mss_frames, to_cloud=True) // 82)
+
+
+def _transport_retransmissions(protocol, net, transports) -> tuple:
+    # both stacks record into their leaf node's TraceRecorder
+    retx = rtos = 0
+    for leaf_id in net.leaf_ids:
+        counters = net.nodes[leaf_id].trace.counters
+        retx += counters.get("tcp.retransmits")
+        retx += counters.get("coap.retransmissions")
+        rtos += counters.get("tcp.rto_events")
+    return retx, rtos
+
+
+def run_fig8_batching(
+    duration: float = 1800.0, seed: int = 0
+) -> List[Dict]:
+    """Figure 8: duty cycles with/without batching, per protocol."""
+    rows = []
+    for protocol in ("coap", "cocoa", "tcp"):
+        for batching in (False, True):
+            r = run_app_study(protocol, batching=batching,
+                              duration=duration, seed=seed)
+            rows.append({
+                "protocol": protocol,
+                "batching": batching,
+                "radio_dc": r.radio_duty_cycle,
+                "cpu_dc": r.cpu_duty_cycle,
+                "reliability": r.reliability,
+            })
+    return rows
+
+
+def run_fig9_loss_sweep(
+    loss_rates=(0.0, 0.03, 0.06, 0.09, 0.12, 0.15, 0.18, 0.21),
+    duration: float = 1800.0,
+    seed: int = 0,
+) -> List[Dict]:
+    """Figure 9: protocol behaviour vs injected loss at the border."""
+    rows = []
+    for protocol in ("tcp", "cocoa", "coap"):
+        for loss in loss_rates:
+            r = run_app_study(protocol, batching=True,
+                              injected_loss=loss, duration=duration,
+                              seed=seed)
+            rows.append({
+                "protocol": protocol,
+                "injected_loss": loss,
+                "reliability": r.reliability,
+                "retransmissions_per_10min": r.retransmissions * 600 / duration,
+                "rtos_per_10min": r.rto_events * 600 / duration,
+                "radio_dc": r.radio_duty_cycle,
+                "cpu_dc": r.cpu_duty_cycle,
+            })
+    return rows
+
+
+#: A diurnal interference profile: (start_hour, loss_rate); §9.5 runs
+#: during office hours see much more loss than night hours.  Peaks stay
+#: at/below 10% — the paper "had not observed the loss rate exceed 15%
+#: for an extended time" and reliable transports deliver ~99% all day.
+DIURNAL_PROFILE = [
+    (0, 0.01), (7, 0.04), (9, 0.08), (12, 0.06),
+    (14, 0.10), (17, 0.05), (20, 0.02),
+]
+
+
+def run_fig10_daylong(
+    protocol: str,
+    hours: float = 24.0,
+    seconds_per_hour: float = 300.0,
+    seed: int = 0,
+    confirmable: bool = True,
+    batching: bool = True,
+) -> List[Dict]:
+    """Figure 10 / Table 8: a (scaled) day in a lossy environment.
+
+    ``seconds_per_hour`` compresses each simulated 'hour'; the diurnal
+    loss profile is applied to the border-router link hour by hour,
+    and the leaf radio duty cycle is sampled per hour.
+    """
+    net = build_testbed(seed=seed, leaf_poll=LEAF_POLL)
+    server = ReadingServer(net.sim)
+    apps: List[AnemometerNode] = []
+    if protocol == "tcp":
+        cloud_stack = TcpStack(net.sim, net.cloud, CLOUD_ID,
+                               default_params=linux_like_params())
+        server.attach_tcp(cloud_stack, port=8000)
+    else:
+        server.attach_coap(net.cloud)
+    for idx, leaf_id in enumerate(net.leaf_ids):
+        leaf = net.nodes[leaf_id]
+        if protocol == "tcp":
+            stack = TcpStack(net.sim, leaf.ipv6, leaf_id, trace=leaf.trace,
+                             cpu=leaf.radio.cpu, sleepy=leaf.sleepy)
+            # §9.5: daytime interference warrants a 3-frame MSS
+            transport = TcpTransport(
+                net.sim, stack, CLOUD_ID, server_port=8000,
+                params=tcplp_params(mss_frames=3, to_cloud=True),
+            )
+            queue_capacity = 64
+        else:
+            client = CoapClient(
+                net.sim, leaf.udp, net.rng, CLOUD_ID,
+                trace=leaf.trace,
+                on_ack_waiting=(
+                    leaf.sleepy.set_fast_poll if leaf.sleepy else None
+                ),
+            )
+            transport = CoapTransport(client, confirmable=confirmable)
+            queue_capacity = 104
+        app = AnemometerNode(net.sim, transport, AnemometerConfig(
+            queue_capacity=queue_capacity, batching=batching, batch_size=64,
+            readings_per_message=_readings_per_message(3),
+        ))
+        app.start(phase=idx * 16.0)
+        apps.append(app)
+
+    def loss_at(hour: float) -> float:
+        current = DIURNAL_PROFILE[-1][1]
+        for start, rate in DIURNAL_PROFILE:
+            if hour >= start:
+                current = rate
+        return current
+
+    rows = []
+    for hour in range(int(hours)):
+        net.wired.loss_rate = loss_at(hour)
+        net.reset_meters()
+        delivered_before = server.total_readings()
+        generated_before = sum(a.generated for a in apps)
+        net.sim.run(until=net.sim.now + seconds_per_hour)
+        duty = _leaf_duty_cycles(net)
+        generated = sum(a.generated for a in apps) - generated_before
+        delivered = server.total_readings() - delivered_before
+        rows.append({
+            "hour": hour,
+            "loss_rate": net.wired.loss_rate,
+            "radio_dc": duty["radio"],
+            "cpu_dc": duty["cpu"],
+            "reliability": min(1.0, delivered / generated) if generated else 1.0,
+        })
+    return rows
+
+
+def run_table8(
+    hours: float = 24.0,
+    seconds_per_hour: float = 150.0,
+    seed: int = 0,
+) -> List[Dict]:
+    """Table 8: day-long averages, including the unreliable rows."""
+    rows = []
+    for name, protocol, confirmable, batching in (
+        ("tcp", "tcp", True, True),
+        ("coap", "coap", True, True),
+        ("unreliable", "coap", False, False),
+        ("unreliable+batch", "coap", False, True),
+    ):
+        hourly = run_fig10_daylong(
+            protocol, hours=hours, seconds_per_hour=seconds_per_hour,
+            seed=seed, confirmable=confirmable, batching=batching,
+        )
+        n = len(hourly)
+        rows.append({
+            "protocol": name,
+            "reliability": sum(h["reliability"] for h in hourly) / n,
+            "radio_dc": sum(h["radio_dc"] for h in hourly) / n,
+            "cpu_dc": sum(h["cpu_dc"] for h in hourly) / n,
+        })
+    return rows

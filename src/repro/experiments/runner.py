@@ -1,0 +1,166 @@
+"""Batch experiment runner: regenerate the paper's results as JSON.
+
+``python -m repro.experiments.runner [--quick] [-o results.json]``
+runs every experiment at benchmark (or abbreviated) durations and
+writes one JSON document with a section per table/figure.  The pytest
+benchmarks remain the canonical, asserted reproduction; this runner is
+for users who want the raw numbers (e.g. to plot).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.experiments.exp_ablations import run_ablation_table
+from repro.experiments.exp_app import (
+    run_fig8_batching,
+    run_fig9_loss_sweep,
+    run_fig10_daylong,
+    run_table8,
+)
+from repro.experiments.exp_duty import (
+    run_adaptive_duty_cycle,
+    run_fig12_sweep,
+)
+from repro.experiments.exp_fairness import run_table9
+from repro.experiments.exp_retry_delay import (
+    run_eq2_validation,
+    run_fig6_sweep,
+    run_fig7a_cwnd_trace,
+)
+from repro.experiments.exp_table7 import run_table7
+from repro.experiments.exp_throughput import (
+    run_fig4_mss_sweep,
+    run_fig5_buffer_sweep,
+    run_sec72_hops,
+)
+from repro.models.headers import table5_rows, table6_rows
+from repro.models.memory import (
+    modelled_passive_bytes,
+    modelled_tcb_bytes,
+)
+
+
+def _static_tables() -> Dict:
+    return {
+        "table5": [
+            {"link": r.name, "bandwidth_bps": r.bandwidth_bps,
+             "frame_bytes": r.frame_bytes, "tx_time_s": r.tx_time}
+            for r in table5_rows()
+        ],
+        "table6": [
+            {"header": r.protocol,
+             "first_frame": [r.first_frame_min, r.first_frame_max],
+             "other_frames": [r.other_frames_min, r.other_frames_max]}
+            for r in table6_rows()
+        ],
+        "memory_model": {
+            "active_socket_bytes": modelled_tcb_bytes(),
+            "passive_socket_bytes": modelled_passive_bytes(),
+        },
+    }
+
+
+def experiment_registry(quick: bool) -> Dict[str, Callable[[], object]]:
+    """Experiment name -> runnable, scaled by ``quick``."""
+    d = 25.0 if quick else 60.0
+    app_d = 400.0 if quick else 1500.0
+    hours = 6 if quick else 24
+    return {
+        "static_tables": _static_tables,
+        "fig4_mss": lambda: run_fig4_mss_sweep(duration=d),
+        "fig5_buffer": lambda: run_fig5_buffer_sweep(duration=d),
+        "table7_stacks": lambda: run_table7(duration=d),
+        "fig6a_one_hop": lambda: run_fig6_sweep(
+            1, duration=d, ambient_frame_loss=0.03),
+        "fig6bcd_three_hops": lambda: run_fig6_sweep(3, duration=d),
+        "fig7a_cwnd": lambda: _strip_series(
+            run_fig7a_cwnd_trace(duration=2 * d)),
+        "eq2_validation": lambda: run_eq2_validation(duration=d),
+        "sec72_hops": lambda: run_sec72_hops(duration=d),
+        "fig8_batching": lambda: run_fig8_batching(duration=app_d),
+        "fig9_loss": lambda: run_fig9_loss_sweep(
+            loss_rates=(0.0, 0.09, 0.15, 0.21) if quick else
+            (0.0, 0.03, 0.06, 0.09, 0.12, 0.15, 0.18, 0.21),
+            duration=app_d),
+        "fig10_daylong_tcp": lambda: run_fig10_daylong(
+            "tcp", hours=hours, seconds_per_hour=150.0),
+        "fig10_daylong_coap": lambda: run_fig10_daylong(
+            "coap", hours=hours, seconds_per_hour=150.0),
+        "table8": lambda: run_table8(hours=hours, seconds_per_hour=150.0),
+        "table9_fairness": lambda: run_table9(duration=1.5 * d),
+        "appendixC_fig12": lambda: _strip_rtt_samples(
+            run_fig12_sweep(duration=d)),
+        "appendixC_adaptive": lambda: [
+            run_adaptive_duty_cycle(uplink=True, duration=d),
+            run_adaptive_duty_cycle(uplink=False, duration=d),
+        ],
+        "ablations_lossy": lambda: run_ablation_table(
+            "lossy-1hop", duration=d),
+        "ablations_3hop": lambda: run_ablation_table(
+            "hidden-3hop", duration=d),
+    }
+
+
+def _strip_series(row: Dict) -> Dict:
+    out = dict(row)
+    for key in ("cwnd_series", "ssthresh_series"):
+        series = out.pop(key, None)
+        if series:
+            out[f"{key}_points"] = len(series)
+    return out
+
+
+def _strip_rtt_samples(rows):
+    out = []
+    for r in rows:
+        r = dict(r)
+        samples = r.pop("rtt_samples", [])
+        r["rtt_samples_count"] = len(samples)
+        out.append(r)
+    return out
+
+
+def run_all(quick: bool = True, only=None, progress=print) -> Dict:
+    """Run the registry; returns {experiment: result-or-error}."""
+    registry = experiment_registry(quick)
+    results: Dict[str, object] = {}
+    for name, fn in registry.items():
+        if only and name not in only:
+            continue
+        start = time.time()
+        progress(f"[{name}] running ...")
+        try:
+            results[name] = fn()
+        except Exception as exc:  # a broken experiment must not eat the rest
+            results[name] = {"error": f"{type(exc).__name__}: {exc}"}
+        progress(f"[{name}] done in {time.time() - start:.1f}s")
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="abbreviated durations (~2-4 minutes total)")
+    parser.add_argument("-o", "--output", default="results.json")
+    parser.add_argument("--only", nargs="*", default=None,
+                        help="subset of experiment names")
+    args = parser.parse_args(argv)
+    results = run_all(quick=args.quick, only=args.only)
+    with open(args.output, "w") as fh:
+        json.dump(results, fh, indent=2, default=str)
+    print(f"wrote {args.output} ({len(results)} experiments)")
+    errors = [k for k, v in results.items()
+              if isinstance(v, dict) and "error" in v]
+    if errors:
+        print(f"experiments with errors: {errors}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

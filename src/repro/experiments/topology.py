@@ -1,0 +1,204 @@
+"""Network builders for the paper's experimental setups.
+
+* :func:`build_pair` — two embedded nodes over one 802.15.4 hop
+  (§6.3's node-to-node experiments).
+* :func:`build_single_hop` — Figure 2: an embedded endpoint one hop
+  from a border router, which bridges over a ~12 ms wired link to a
+  Linux-class endpoint.
+* :func:`build_chain` — §7's multihop line: node 0 is the border
+  router, nodes 1..n form a chain where only adjacent nodes are in
+  radio range (hidden terminals between non-adjacent senders).
+* :func:`build_testbed` — a §9-style office mesh: a border router, a
+  backbone of always-on routers placed so leaf traffic crosses 3-5
+  hops, and sleepy leaf nodes at the far end.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.net.node import Node, NodeConfig
+from repro.net.routing import MeshRouting, StaticRouting
+from repro.net.wired import CloudHost, WiredLink
+from repro.phy.medium import Medium
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+
+#: node id used for the cloud server in builders that include one
+CLOUD_ID = 1000
+
+
+@dataclass
+class Network:
+    """Everything an experiment needs to drive a simulation."""
+
+    sim: Simulator
+    rng: RngStreams
+    medium: Medium
+    nodes: Dict[int, Node]
+    routing: object
+    cloud: Optional[CloudHost] = None
+    wired: Optional[WiredLink] = None
+    border_id: int = 0
+    leaf_ids: List[int] = field(default_factory=list)
+
+    def node(self, node_id: int) -> Node:
+        """Convenience accessor."""
+        return self.nodes[node_id]
+
+    def total_frames_sent(self) -> int:
+        """Frames transmitted by all radios (incl. ACKs) — Fig. 6d."""
+        return sum(n.radio.frames_sent for n in self.nodes.values())
+
+    def reset_meters(self) -> None:
+        """Restart all duty-cycle meters (exclude warm-up)."""
+        for n in self.nodes.values():
+            n.reset_meters()
+
+
+def _clone_config(config: Optional[NodeConfig]) -> NodeConfig:
+    return copy.deepcopy(config) if config is not None else NodeConfig()
+
+
+def build_pair(
+    seed: int = 0,
+    node_config: Optional[NodeConfig] = None,
+    spacing: float = 5.5,
+) -> Network:
+    """Two embedded nodes in direct radio range (node ids 0 and 1)."""
+    sim = Simulator()
+    rng = RngStreams(seed)
+    medium = Medium(sim, rng=rng, comm_range=10.0)
+    routing = StaticRouting()
+    routing.add_path([0, 1])
+    nodes = {
+        i: Node(sim, medium, rng, i, (i * spacing, 0.0), routing,
+                _clone_config(node_config))
+        for i in (0, 1)
+    }
+    return Network(sim, rng, medium, nodes, routing)
+
+
+def _attach_cloud(
+    net: Network,
+    border: Node,
+    wired_delay: float = 0.006,
+    wired_loss: float = 0.0,
+) -> None:
+    wired = WiredLink(net.sim, net.rng, one_way_delay=wired_delay, loss_rate=wired_loss)
+    cloud = CloudHost(net.sim, CLOUD_ID)
+    cloud.attach(wired, gateway_id=border.node_id)
+    border.add_wired_link(CLOUD_ID, wired)
+    net.cloud = cloud
+    net.wired = wired
+
+
+def build_single_hop(
+    seed: int = 0,
+    node_config: Optional[NodeConfig] = None,
+    wired_loss: float = 0.0,
+) -> Network:
+    """Figure 2: embedded endpoint (1) <-> border router (0) <-> cloud."""
+    net = build_chain(1, seed=seed, node_config=node_config, wired_loss=wired_loss)
+    return net
+
+
+def build_chain(
+    num_hops: int,
+    seed: int = 0,
+    node_config: Optional[NodeConfig] = None,
+    spacing: float = 8.0,
+    comm_range: float = 10.0,
+    wired_loss: float = 0.0,
+    with_cloud: bool = True,
+) -> Network:
+    """A line of ``num_hops + 1`` nodes; node 0 is the border router.
+
+    With ``spacing=8`` and ``comm_range=10``, only adjacent nodes hear
+    each other, so the hidden-terminal and B/3-scheduling phenomena of
+    §7 emerge naturally.
+    """
+    if num_hops < 1:
+        raise ValueError("need at least one hop")
+    sim = Simulator()
+    rng = RngStreams(seed)
+    medium = Medium(sim, rng=rng, comm_range=comm_range)
+    routing = StaticRouting()
+    path = list(range(num_hops + 1))
+    nodes = {
+        i: Node(sim, medium, rng, i, (i * spacing, 0.0), routing,
+                _clone_config(node_config))
+        for i in path
+    }
+    routing.add_path(path)
+    # everything off-path routes toward the border router (node 0)
+    for node in path:
+        if node == 0:
+            routing.set_route(0, CLOUD_ID, CLOUD_ID)
+        else:
+            routing.set_route(node, CLOUD_ID, path[path.index(node) - 1])
+    net = Network(sim, rng, medium, nodes, routing, border_id=0)
+    if with_cloud:
+        _attach_cloud(net, nodes[0], wired_loss=wired_loss)
+    return net
+
+
+#: §9 testbed geometry: a border router, a 4-router backbone, and four
+#: leaf positions at the far end giving 3-5 hop routes at -8 dBm
+#: (comm_range=10).  Loosely shaped like Figure 3's office floor plan.
+TESTBED_POSITIONS = {
+    1: (0.0, 0.0),    # border router
+    2: (8.0, 2.0),    # backbone routers
+    3: (16.0, 0.0),
+    4: (24.0, 2.0),
+    5: (32.0, 0.0),
+    12: (30.0, 8.0),  # leaf sensors (anemometers)
+    13: (38.0, 4.0),
+    14: (40.0, -4.0),
+    15: (26.0, -6.0),
+}
+
+
+def build_testbed(
+    seed: int = 0,
+    node_config: Optional[NodeConfig] = None,
+    leaf_poll=None,
+    wired_loss: float = 0.0,
+    sleepy_leaves: bool = True,
+    retry_delay: float = 0.04,
+) -> Network:
+    """The §9 office testbed: border router 1, routers 2-5, leaves 12-15.
+
+    ``retry_delay`` defaults to the 40 ms the §7.1 study recommends —
+    without it, hidden terminals on the backbone cripple the mesh.
+    """
+    sim = Simulator()
+    rng = RngStreams(seed)
+    medium = Medium(sim, rng=rng, comm_range=10.0)
+    router_ids = [1, 2, 3, 4, 5]
+    leaf_ids = [12, 13, 14, 15]
+    routing = MeshRouting(border_id=1, router_ids=router_ids)
+    nodes: Dict[int, Node] = {}
+    for nid, pos in TESTBED_POSITIONS.items():
+        config = _clone_config(node_config)
+        config.mac.retry_delay = retry_delay
+        nodes[nid] = Node(sim, medium, rng, nid, pos, routing, config)
+    # leaf parent selection + mesh routes need the radios registered
+    for leaf in leaf_ids:
+        candidates = [r for r in router_ids if medium.in_range(leaf, r)]
+        if not candidates:
+            raise RuntimeError(f"testbed geometry broken: leaf {leaf} isolated")
+        parent = min(candidates, key=lambda r: (medium.distance(leaf, r), r))
+        routing.leaf_parents[leaf] = parent
+    routing.rebuild(medium)
+    net = Network(
+        sim, rng, medium, nodes, routing, border_id=1, leaf_ids=leaf_ids
+    )
+    if sleepy_leaves:
+        for leaf in leaf_ids:
+            parent = routing.parent_of(leaf)
+            nodes[leaf].make_sleepy(nodes[parent], poll=leaf_poll)
+    _attach_cloud(net, nodes[1], wired_loss=wired_loss)
+    return net

@@ -1,0 +1,149 @@
+"""Traffic generators and measurement glue for the experiments.
+
+:class:`BulkTransfer` drives a TCP connection at saturation (an
+iperf-style workload — the §6/§7 throughput experiments), measuring
+goodput at the receiver.  :class:`GoodputMeter` can wrap any byte sink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.params import TcpParams
+from repro.core.socket_api import TcpStack
+
+
+class GoodputMeter:
+    """Counts delivered bytes between start() and now."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.bytes = 0
+        self._start: Optional[float] = None
+        self.first_byte_at: Optional[float] = None
+
+    def start(self) -> None:
+        """Begin (or restart) the measurement window."""
+        self._start = self.sim.now
+        self.bytes = 0
+
+    def on_data(self, data: bytes) -> None:
+        """Byte-sink callback."""
+        if self.first_byte_at is None:
+            self.first_byte_at = self.sim.now
+        if self._start is not None:
+            self.bytes += len(data)
+
+    def goodput_bps(self) -> float:
+        """Delivered application bits per second over the window."""
+        if self._start is None:
+            return 0.0
+        elapsed = self.sim.now - self._start
+        return self.bytes * 8.0 / elapsed if elapsed > 0 else 0.0
+
+
+@dataclass
+class BulkResult:
+    """Outcome of one bulk transfer measurement."""
+
+    goodput_bps: float
+    bytes_delivered: int
+    duration: float
+    segs_sent: int = 0
+    retransmits: int = 0
+    rto_events: int = 0
+    fast_retransmits: int = 0
+    segment_loss: float = 0.0
+    rtt_samples: List[float] = field(default_factory=list)
+
+    @property
+    def goodput_kbps(self) -> float:
+        """kb/s, the paper's unit."""
+        return self.goodput_bps / 1000.0
+
+
+class BulkTransfer:
+    """Saturating one-way TCP transfer between two stacks.
+
+    The sender's ``on_send_space`` hook refills the send buffer whenever
+    space opens, so the connection is always window-limited — exactly
+    the regime of the paper's throughput studies.
+    """
+
+    CHUNK = 1024
+
+    def __init__(
+        self,
+        sim,
+        sender_stack: TcpStack,
+        receiver_stack: TcpStack,
+        receiver_id: int,
+        port: int = 8000,
+        params: Optional[TcpParams] = None,
+        receiver_params: Optional[TcpParams] = None,
+        dst_is_cloud: bool = False,
+        payload_byte: bytes = b"a",
+    ):
+        self.sim = sim
+        self.meter = GoodputMeter(sim)
+        self.connected = False
+        self._conn = None
+        self._closed = False
+        self.errors: List[str] = []
+        self._payload = payload_byte * self.CHUNK
+
+        def on_accept(conn):
+            conn.on_data = self.meter.on_data
+
+        receiver_stack.listen(port, on_accept, params=receiver_params)
+        self._conn = sender_stack.connect(
+            receiver_id, port, params=params, dst_is_cloud=dst_is_cloud
+        )
+        self._conn.on_connect = self._on_connect
+        self._conn.on_send_space = self._fill
+        self._conn.on_error = self.errors.append
+
+    @property
+    def connection(self):
+        """The sender-side socket (for cwnd traces etc.)."""
+        return self._conn
+
+    def _on_connect(self) -> None:
+        self.connected = True
+        self._fill()
+
+    def _fill(self) -> None:
+        if self._closed:
+            return
+        while self._conn.send_buf.free > 0 and self._conn.is_open:
+            self._conn.send(self._payload[: self._conn.send_buf.free])
+
+    def measure(self, warmup: float, duration: float) -> BulkResult:
+        """Run the simulation for warmup + duration; return metrics."""
+        start_counters = None
+        self.sim.run(until=self.sim.now + warmup)
+        self.meter.start()
+        base = dict(self._conn.trace.counters.as_dict())
+        rtt_series = self._conn.trace.series("tcp.rtt")
+        rtt_before = len(rtt_series)
+        self.sim.run(until=self.sim.now + duration)
+        counters = self._conn.trace.counters
+        segs = counters.get("tcp.data_segs_sent") - base.get("tcp.data_segs_sent", 0)
+        retx = counters.get("tcp.retransmits") - base.get("tcp.retransmits", 0)
+        rtos = counters.get("tcp.rto_events") - base.get("tcp.rto_events", 0)
+        frs = counters.get("tcp.fast_retransmits") - base.get(
+            "tcp.fast_retransmits", 0
+        )
+        loss = retx / segs if segs > 0 else 0.0
+        return BulkResult(
+            goodput_bps=self.meter.goodput_bps(),
+            bytes_delivered=self.meter.bytes,
+            duration=duration,
+            segs_sent=segs,
+            retransmits=retx,
+            rto_events=rtos,
+            fast_retransmits=frs,
+            segment_loss=loss,
+            rtt_samples=list(rtt_series.values[rtt_before:]),
+        )

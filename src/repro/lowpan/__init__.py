@@ -1,0 +1,36 @@
+"""6LoWPAN adaptation layer (RFC 4944 / RFC 6282).
+
+Lets IPv6 packets ride 127-byte 802.15.4 frames:
+
+* :mod:`repro.lowpan.iphc` — IPHC header compression.  Computes the
+  exact compressed IPv6 (and UDP NHC) header sizes behind Table 6 of
+  the paper ("IPv6: 2 B to 28 B").
+* :mod:`repro.lowpan.frag` — FRAG1/FRAGN fragmentation and reassembly
+  with timeouts.  The loss-amplification of fragmentation (one lost
+  frame kills the whole packet) is the §6.1 MSS trade-off.
+* :mod:`repro.lowpan.adaptation` — per-node glue: compress + fragment
+  on send, forward fragments hop-by-hop (route-over, as OpenThread
+  does), reassemble at the destination; optional per-hop reassembly
+  used by the RED/ECN experiments of Appendix A.
+"""
+
+from repro.lowpan.adaptation import LowpanAdaptation
+from repro.lowpan.frag import (
+    FRAG1_HEADER_BYTES,
+    FRAGN_HEADER_BYTES,
+    Fragment,
+    Fragmenter,
+    Reassembler,
+)
+from repro.lowpan.iphc import compressed_ipv6_bytes, compressed_udp_bytes
+
+__all__ = [
+    "LowpanAdaptation",
+    "Fragment",
+    "Fragmenter",
+    "Reassembler",
+    "FRAG1_HEADER_BYTES",
+    "FRAGN_HEADER_BYTES",
+    "compressed_ipv6_bytes",
+    "compressed_udp_bytes",
+]

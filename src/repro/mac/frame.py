@@ -1,0 +1,152 @@
+"""IEEE 802.15.4 frame formats and byte codec.
+
+The paper's Table 6 charges 23 bytes of 802.15.4 overhead per data
+frame.  That is the long-address data frame layout::
+
+    FCF(2) + Seq(1) + Dst PAN(2) + Dst64(8) + Src64(8) + FCS(2) = 23
+
+Immediate ACKs are 5-byte MPDUs (FCF + Seq + FCS) and data-request MAC
+commands add a 1-byte command identifier.  The simulator carries frames
+as objects (``payload`` is the upper-layer fragment) but the codec
+serialises real bytes so header arithmetic is checked, not assumed.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Broadcast short address.
+BROADCAST = 0xFFFF
+
+DATA_HEADER_BYTES = 23  # includes the 2-byte FCS trailer
+ACK_FRAME_BYTES = 5
+COMMAND_ID_BYTES = 1
+
+_FCF_KIND = {0x1: "data", 0x2: "ack", 0x3: "command"}
+_KIND_FCF = {v: k for k, v in _FCF_KIND.items()}
+
+
+class FrameKind(enum.Enum):
+    """Frame types the MAC uses."""
+
+    DATA = "data"
+    ACK = "ack"
+    DATA_REQUEST = "command"  # the only MAC command we use
+
+
+@dataclass
+class Frame:
+    """A MAC frame in flight.
+
+    ``payload`` is an upper-layer object (a 6LoWPAN fragment);
+    ``payload_bytes`` is its wire size, which together with the MAC
+    header determines air time.
+    """
+
+    kind: FrameKind
+    src: int
+    dst: int
+    seq: int = 0
+    pending: bool = False  # "frame pending" bit (indirect-queue signal)
+    ack_request: bool = True
+    payload: object = None
+    payload_bytes: int = 0
+    #: filled by MAC for tracing: retries used to deliver this frame
+    retries_used: int = field(default=0, compare=False)
+
+    @property
+    def byte_size(self) -> int:
+        """MPDU size in bytes (drives air time)."""
+        if self.kind is FrameKind.ACK:
+            return ACK_FRAME_BYTES
+        if self.kind is FrameKind.DATA_REQUEST:
+            return DATA_HEADER_BYTES + COMMAND_ID_BYTES
+        return DATA_HEADER_BYTES + self.payload_bytes
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.dst == BROADCAST
+
+    def encode(self, payload_bytes: Optional[bytes] = None) -> bytes:
+        """Serialise to wire bytes.
+
+        For DATA frames the caller may supply the encoded payload; if
+        omitted, ``payload_bytes`` zero bytes are emitted (the simulator
+        usually only needs sizes).
+        """
+        fcf = _KIND_FCF[self.kind.value]
+        if self.pending:
+            fcf |= 1 << 4
+        if self.ack_request:
+            fcf |= 1 << 5
+        # dst/src addressing mode: 64-bit extended (0b11) in both slots
+        fcf |= (0b11 << 10) | (0b11 << 14)
+        if self.kind is FrameKind.ACK:
+            body = struct.pack("<HB", fcf, self.seq & 0xFF)
+            return body + b"\x00\x00"  # FCS placeholder
+        head = struct.pack(
+            "<HBHQQ",
+            fcf,
+            self.seq & 0xFF,
+            0xFACE,  # PAN id
+            _extended_addr(self.dst),
+            _extended_addr(self.src),
+        )
+        if self.kind is FrameKind.DATA_REQUEST:
+            body = head + b"\x04"  # data-request command id
+        else:
+            if payload_bytes is None:
+                payload_bytes = bytes(self.payload_bytes)
+            body = head + payload_bytes
+        return body + b"\x00\x00"  # FCS placeholder
+
+
+def _extended_addr(short: int) -> int:
+    """Map a simulator node id to a stable EUI-64."""
+    if short == BROADCAST:
+        return 0xFFFFFFFFFFFFFFFF
+    return 0x00124B0000000000 | (short & 0xFFFF)
+
+
+def _short_addr(ext: int) -> int:
+    if ext == 0xFFFFFFFFFFFFFFFF:
+        return BROADCAST
+    return ext & 0xFFFF
+
+
+def decode_frame(data: bytes) -> Frame:
+    """Parse wire bytes back into a :class:`Frame` (payload as bytes)."""
+    if len(data) < ACK_FRAME_BYTES:
+        raise ValueError("frame too short")
+    fcf, seq = struct.unpack_from("<HB", data, 0)
+    kind_bits = fcf & 0x7
+    kind_name = _FCF_KIND.get(kind_bits)
+    if kind_name is None:
+        raise ValueError(f"unknown frame type bits {kind_bits:#x}")
+    pending = bool(fcf & (1 << 4))
+    ack_request = bool(fcf & (1 << 5))
+    if kind_name == "ack":
+        return Frame(
+            kind=FrameKind.ACK, src=0, dst=0, seq=seq,
+            pending=pending, ack_request=False,
+        )
+    _, _, _, dst_ext, src_ext = struct.unpack_from("<HBHQQ", data, 0)
+    payload = data[21:-2]
+    if kind_name == "command":
+        kind = FrameKind.DATA_REQUEST
+        payload = payload[COMMAND_ID_BYTES:]
+    else:
+        kind = FrameKind.DATA
+    return Frame(
+        kind=kind,
+        src=_short_addr(src_ext),
+        dst=_short_addr(dst_ext),
+        seq=seq,
+        pending=pending,
+        ack_request=ack_request,
+        payload=bytes(payload),
+        payload_bytes=len(payload),
+    )

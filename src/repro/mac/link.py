@@ -1,0 +1,414 @@
+"""Software CSMA-CA link layer with randomised link retries.
+
+This is the MAC behaviour TCPlp required (paper §4 and §7.1):
+
+* CSMA-CA runs in *software* so the radio keeps listening between
+  backoff slots, fixing the AT86RF233 "deaf listening" problem.  The
+  broken hardware behaviour is reproduced when the radio is created
+  with ``deaf_csma=True`` (the radio goes deaf during backoff).
+* After a failed transmission (missed link ACK or channel-access
+  failure) the frame is retried after a uniform ``[0, d]`` delay.
+  ``d`` is :attr:`MacParams.retry_delay` — the x-axis of Figure 6.
+  Stock OpenThread has ``d = 0``.
+* Frames to *sleepy children* are not transmitted directly: they are
+  parked on an indirect queue until the child polls with a
+  data-request command (Thread listen-after-send, §3.2).
+
+The layer exposes ``send`` downward-facing semantics to 6LoWPAN and an
+``on_receive(payload, src, frame)`` upcall.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Optional, Set
+
+from repro.mac.frame import BROADCAST, Frame, FrameKind
+from repro.phy.radio import Radio
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.sim.trace import TraceRecorder
+
+
+@dataclass
+class MacParams:
+    """Knobs for the CSMA-CA link layer."""
+
+    min_be: int = 3  # macMinBE
+    max_be: int = 5  # macMaxBE
+    max_csma_backoffs: int = 4  # macMaxCSMABackoffs
+    #: software link retries.  Calibrated to 6 so that hidden-terminal
+    #: re-collisions at d=0 produce the ~6-9% TCP-segment loss the
+    #: paper measures at three hops (Fig. 6b); OpenThread's direct
+    #: transmission budget is of this order.
+    max_retries: int = 6
+    retry_delay: float = 0.0  # "d": uniform(0, d) between link retries (§7.1)
+    ack_wait: float = 0.003  # seconds to wait for a link ACK
+    tx_queue_limit: int = 40  # frames; tail-dropped beyond this
+    indirect_queue_limit: int = 30  # frames parked per sleepy child
+    indirect_max_retries: int = 6  # link retries for indirect frames (§9.5 fix)
+    per_frame_cpu: float = 0.0003  # MAC processing cost per frame (CPU meter)
+
+
+class _TxOp:
+    """State for the in-flight transmission attempt."""
+
+    __slots__ = ("frame", "nb", "be", "retries", "on_done", "indirect_child")
+
+    def __init__(self, frame: Frame, on_done: Optional[Callable[[bool], None]],
+                 indirect_child: Optional[int] = None):
+        self.frame = frame
+        self.nb = 0
+        self.be = 0
+        self.retries = 0
+        self.on_done = on_done
+        self.indirect_child = indirect_child
+
+
+class MacLayer:
+    """Per-node 802.15.4 MAC."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        radio: Radio,
+        rng: RngStreams,
+        params: Optional[MacParams] = None,
+        trace: Optional[TraceRecorder] = None,
+    ):
+        self.sim = sim
+        self.radio = radio
+        self.rng = rng
+        self.params = params or MacParams()
+        self.trace = trace or TraceRecorder()
+        self.node_id = radio.node_id
+        radio.on_frame = self._on_frame
+
+        self._queue: Deque[_TxOp] = deque()
+        self._current: Optional[_TxOp] = None
+        #: when True, no new transmissions start (Appendix C's slotted
+        #: listen-after-send protocol holds uplink during listen phases)
+        self.paused = False
+        self._ack_timer_event = None
+        self._seq = 0
+        self._dedup: Dict[int, int] = {}  # src -> last accepted seq
+        self.sleepy_children: Set[int] = set()
+        self._indirect: Dict[int, Deque[_TxOp]] = {}
+
+        #: upcall: (payload, src, frame) for each accepted data frame
+        self.on_receive: Optional[Callable[[object, int, Frame], None]] = None
+        #: upcall on the *sender* when the link ACK for a data request
+        #: arrives; carries the pending bit (used by the poll layer)
+        self.on_poll_ack: Optional[Callable[[bool], None]] = None
+        #: upcall when the tx queue drains (poll layer may sleep the radio)
+        self.on_idle: Optional[Callable[[], None]] = None
+        #: upcall for every received data frame's pending bit (poll layer)
+        self.on_data_pending: Optional[Callable[[bool], None]] = None
+
+    # ------------------------------------------------------------------
+    # downward-facing API
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        payload: object,
+        payload_bytes: int,
+        dst: int,
+        on_done: Optional[Callable[[bool], None]] = None,
+    ) -> bool:
+        """Queue a frame for ``dst``.  Returns False on tail drop."""
+        frame = Frame(
+            kind=FrameKind.DATA,
+            src=self.node_id,
+            dst=dst,
+            seq=self._next_seq(),
+            ack_request=(dst != BROADCAST),
+            payload=payload,
+            payload_bytes=payload_bytes,
+        )
+        op = _TxOp(frame, on_done)
+        if dst in self.sleepy_children:
+            return self._enqueue_indirect(dst, op)
+        if len(self._queue) >= self.params.tx_queue_limit:
+            self.trace.counters.incr("mac.tail_drops")
+            if on_done is not None:
+                on_done(False)
+            return False
+        self._queue.append(op)
+        self._kick()
+        return True
+
+    def send_data_request(self, parent: int) -> None:
+        """Send a data-request command to ``parent`` (poll layer).
+
+        Data requests jump the queue: they are tiny, latency-critical
+        (the parent releases queued downlink traffic on them), and the
+        transport above may be stalled waiting for exactly the ACK they
+        will fetch.
+        """
+        frame = Frame(
+            kind=FrameKind.DATA_REQUEST,
+            src=self.node_id,
+            dst=parent,
+            seq=self._next_seq(),
+            ack_request=True,
+        )
+        op = _TxOp(frame, None)
+        self._queue.appendleft(op)
+        self._kick()
+
+    def queue_depth(self) -> int:
+        """Frames waiting (not counting the one in flight)."""
+        return len(self._queue)
+
+    def indirect_depth(self, child: int) -> int:
+        """Frames parked for a sleepy child."""
+        q = self._indirect.get(child)
+        return len(q) if q else 0
+
+    def mark_sleepy_child(self, child: int) -> None:
+        """Route future frames for ``child`` through the indirect queue."""
+        self.sleepy_children.add(child)
+        self._indirect.setdefault(child, deque())
+
+    # ------------------------------------------------------------------
+    # transmit state machine
+    # ------------------------------------------------------------------
+    def _next_seq(self) -> int:
+        self._seq = (self._seq + 1) & 0xFF
+        return self._seq
+
+    def _enqueue_indirect(self, child: int, op: _TxOp) -> bool:
+        q = self._indirect.setdefault(child, deque())
+        if len(q) >= self.params.indirect_queue_limit:
+            self.trace.counters.incr("mac.indirect_drops")
+            if op.on_done is not None:
+                op.on_done(False)
+            return False
+        op.indirect_child = child
+        q.append(op)
+        return True
+
+    def _kick(self) -> None:
+        if self._current is not None or not self._queue:
+            return
+        if self.paused:
+            return  # poll layer is holding uplink during a listen phase
+        self._current = self._queue.popleft()
+        op = self._current
+        # SPI-load the frame buffer first (the §6.4 overhead), *then*
+        # run CSMA so clear-channel assessment is fresh at air time.
+        # Retries reuse the loaded buffer.
+        self.radio.load(op.frame.byte_size, lambda: self._loaded(op))
+
+    def _loaded(self, op: _TxOp) -> None:
+        if op is not self._current:
+            return
+        self._start_csma(op)
+
+    def _start_csma(self, op: _TxOp) -> None:
+        op.nb = 0
+        op.be = self.params.min_be
+        self._backoff(op)
+
+    def _backoff(self, op: _TxOp) -> None:
+        slots = self.rng.randint(f"csma:{self.node_id}", 0, (1 << op.be) - 1)
+        delay = slots * self.radio.params.unit_backoff
+        if self.radio.deaf_csma:
+            self.radio.go_deaf()
+        else:
+            self.radio.listen()
+        self.sim.schedule(delay, self._cca, op)
+
+    def _cca(self, op: _TxOp) -> None:
+        if op is not self._current:
+            return  # op was aborted
+        if self.radio._tx_busy or not self.radio.channel_clear():
+            op.nb += 1
+            op.be = min(op.be + 1, self.params.max_be)
+            if op.nb > self.params.max_csma_backoffs:
+                self.trace.counters.incr("mac.csma_failures")
+                self._retry(op)
+            else:
+                self._backoff(op)
+            return
+        self.radio.listen()  # leave deaf state before TX
+        self.radio.cpu.charge(self.params.per_frame_cpu)
+        self.radio.transmit_loaded(
+            op.frame, op.frame.byte_size, lambda: self._tx_done(op)
+        )
+        self.trace.counters.incr("mac.frames_tx")
+
+    def _tx_done(self, op: _TxOp) -> None:
+        if op is not self._current:
+            return
+        if not op.frame.ack_request:
+            self._finish(op, True)
+            return
+        self._ack_timer_event = self.sim.schedule(
+            self.params.ack_wait, self._ack_timeout, op
+        )
+
+    def _ack_timeout(self, op: _TxOp) -> None:
+        if op is not self._current:
+            return
+        self._ack_timer_event = None
+        self.trace.counters.incr("mac.ack_timeouts")
+        self._retry(op)
+
+    def _retry(self, op: _TxOp) -> None:
+        op.retries += 1
+        limit = (
+            self.params.indirect_max_retries
+            if op.indirect_child is not None
+            else self.params.max_retries
+        )
+        if op.retries > limit:
+            self.trace.counters.incr("mac.tx_failures")
+            self._finish(op, False)
+            return
+        self.trace.counters.incr("mac.link_retries")
+        # The paper's fix for hidden terminals (§7.1): wait a random
+        # duration in [0, d] before re-running CSMA for the retry.
+        # Indirect frames retry quickly instead (§9.5 improvement 3) —
+        # the sleepy child is listening *right now*.
+        d = self.params.retry_delay
+        if op.indirect_child is not None:
+            d = min(d, 0.005)
+        delay = self.rng.uniform(f"retry:{self.node_id}", 0.0, d) if d > 0 else 0.0
+        self.sim.schedule(delay, self._retry_fire, op)
+
+    def _retry_fire(self, op: _TxOp) -> None:
+        if op is not self._current:
+            return
+        self._start_csma(op)
+
+    def _finish(self, op: _TxOp, success: bool) -> None:
+        op.frame.retries_used = op.retries
+        self._current = None
+        self._ack_timer_event = None
+        if success:
+            self.trace.counters.incr("mac.tx_success")
+        if op.on_done is not None:
+            op.on_done(success)
+        if self._queue:
+            self._kick()
+        elif self.on_idle is not None:
+            self.on_idle()
+
+    # ------------------------------------------------------------------
+    # receive path
+    # ------------------------------------------------------------------
+    def _on_frame(self, frame: Frame, sender_id: int) -> None:
+        self.radio.cpu.charge(self.params.per_frame_cpu)
+        if frame.kind is FrameKind.ACK:
+            self._handle_ack(frame)
+            return
+        if frame.dst != self.node_id and not frame.is_broadcast:
+            return  # not for us (promiscuous reception not modelled)
+        if frame.ack_request:
+            self._send_ack(frame)
+        if frame.kind is FrameKind.DATA_REQUEST:
+            self._handle_data_request(frame)
+            return
+        # duplicate suppression: the sender repeats a frame whose ACK we
+        # lost; accept each (src, seq) once.
+        if self._dedup.get(frame.src) == frame.seq:
+            self.trace.counters.incr("mac.duplicates")
+            return
+        self._dedup[frame.src] = frame.seq
+        if self.on_data_pending is not None:
+            self.on_data_pending(frame.pending)
+        if self.on_receive is not None:
+            self.on_receive(frame.payload, frame.src, frame)
+
+    def _handle_ack(self, frame: Frame) -> None:
+        op = self._current
+        if op is None or not op.frame.ack_request:
+            return
+        # Imm-ACKs carry no addresses: hardware only matches an ACK during
+        # the ack-wait window right after its own transmission.  Without
+        # this gate we would swallow ACKs meant for other nodes.
+        if self._ack_timer_event is None or not self._ack_timer_event.pending:
+            return
+        if frame.seq != op.frame.seq:
+            return
+        if self._ack_timer_event is not None:
+            self._ack_timer_event.cancel()
+            self._ack_timer_event = None
+        if op.frame.kind is FrameKind.DATA_REQUEST and self.on_poll_ack is not None:
+            self.on_poll_ack(frame.pending)
+        self._finish(op, True)
+
+    def _send_ack(self, data_frame: Frame) -> None:
+        pending = False
+        if data_frame.kind is FrameKind.DATA_REQUEST:
+            pending = self.indirect_depth(data_frame.src) > 0
+        ack = Frame(
+            kind=FrameKind.ACK,
+            src=self.node_id,
+            dst=data_frame.src,
+            seq=data_frame.seq,
+            pending=pending,
+            ack_request=False,
+        )
+        self.sim.schedule(self.radio.params.turnaround_time, self._ack_fire, ack)
+
+    def _ack_fire(self, ack: Frame) -> None:
+        if self.radio._tx_busy:
+            self.trace.counters.incr("mac.ack_suppressed")
+            return  # half-duplex: cannot ACK while transmitting
+        self.radio.transmit(ack, ack.byte_size, self._ack_sent, skip_spi=True)
+
+    def _ack_sent(self) -> None:
+        # The radio ends a transmission in LISTEN; let the poll layer
+        # decide whether a sleepy node can go back to sleep.
+        if self._current is None and not self._queue and self.on_idle is not None:
+            self.on_idle()
+
+    def _handle_data_request(self, frame: Frame) -> None:
+        """A sleepy child polled us: release its indirect queue."""
+        q = self._indirect.get(frame.src)
+        if not q:
+            return
+        self._release_indirect(frame.src)
+
+    def _release_indirect(self, child: int) -> None:
+        q = self._indirect.get(child)
+        if not q:
+            return
+        op = q.popleft()
+        op.frame.pending = len(q) > 0  # App. C: keep child awake if more
+        original_done = op.on_done
+
+        def done(success: bool, _op=op, _child=child) -> None:
+            if success:
+                if original_done is not None:
+                    original_done(True)
+                # keep draining while the child is listening
+                self._release_indirect(_child)
+            else:
+                # park it again; the child will poll later
+                self.trace.counters.incr("mac.indirect_requeue")
+                _op.on_done = original_done
+                _op.retries = 0
+                self._indirect.setdefault(_child, deque()).appendleft(_op)
+
+        op.on_done = done
+        # §9.5 improvement 1: indirect messages are prioritised over the
+        # current packet being sent — they jump the queue, and an op
+        # that is still contending for the channel (not yet on the air,
+        # not awaiting its ACK) is preempted and retried afterwards.
+        self._queue.appendleft(op)
+        cur = self._current
+        if (
+            cur is not None
+            and cur.indirect_child is None
+            and not self.radio._tx_busy
+            and not self.radio._load_busy
+            and self._ack_timer_event is None
+        ):
+            self.trace.counters.incr("mac.preemptions")
+            self._current = None  # orphans cur's pending CSMA events
+            self._queue.insert(1, cur)
+        self._kick()

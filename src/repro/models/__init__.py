@@ -1,0 +1,41 @@
+"""Analytical models and static tables from the paper.
+
+* :mod:`repro.models.throughput` — Equation 1 (Mathis et al.),
+  Equation 2 (the paper's LLN model, Appendix B), the single-hop
+  goodput ceiling (§6.4), and the multihop scheduling bound (§7.2).
+* :mod:`repro.models.memory` — C-struct-layout byte accounting of
+  TCPlp's connection state and buffers, reproducing Tables 3 and 4.
+* :mod:`repro.models.headers` — Table 5 (frame time across link
+  technologies) and Table 6 (6LoWPAN header overhead).
+* :mod:`repro.models.platforms` — Table 2 (platform resources) and
+  PHY profiles for older platforms (TelosB-class SPI/CPU overheads).
+"""
+
+from repro.models.headers import table5_rows, table6_rows
+from repro.models.memory import (
+    MemoryFootprint,
+    tcplp_memory_riot,
+    tcplp_memory_tinyos,
+)
+from repro.models.platforms import PLATFORMS, PlatformSpec, phy_profile
+from repro.models.throughput import (
+    lln_model_goodput,
+    mathis_goodput,
+    multihop_bound,
+    single_hop_ceiling,
+)
+
+__all__ = [
+    "mathis_goodput",
+    "lln_model_goodput",
+    "single_hop_ceiling",
+    "multihop_bound",
+    "MemoryFootprint",
+    "tcplp_memory_riot",
+    "tcplp_memory_tinyos",
+    "table5_rows",
+    "table6_rows",
+    "PLATFORMS",
+    "PlatformSpec",
+    "phy_profile",
+]

@@ -1,0 +1,60 @@
+"""Platform database (Table 2) and PHY profiles for older hardware.
+
+The Table 7 baselines were measured on older platforms (TelosB-class
+motes with CC2420 radios on slow SPI buses and 16-bit MCUs) and, for
+the Contiki studies, under duty-cycled radio (ContikiMAC's 125 ms
+wakeup period).  ``phy_profile`` captures the platform half of that:
+the effective per-frame overhead factor relative to air time (the
+paper measures 2.0 for Hamilton's AT86RF233, §6.4; TelosB-class SPI
+and copy costs are substantially worse).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.phy.params import PhyParams
+
+
+@dataclass
+class PlatformSpec:
+    """One row of Table 2."""
+
+    name: str
+    cpu: str
+    cpu_bits: int
+    clock_mhz: float
+    rom_bytes: int
+    ram_bytes: int
+    #: effective frame time / air time (SPI + driver overhead)
+    spi_overhead_factor: float
+
+
+PLATFORMS = {
+    "telosb": PlatformSpec(
+        name="TelosB", cpu="MSP430", cpu_bits=16, clock_mhz=25,
+        rom_bytes=48 * 1024, ram_bytes=10 * 1024,
+        spi_overhead_factor=5.0,
+    ),
+    "hamilton": PlatformSpec(
+        name="Hamilton", cpu="Cortex-M0+", cpu_bits=32, clock_mhz=48,
+        rom_bytes=256 * 1024, ram_bytes=32 * 1024,
+        spi_overhead_factor=2.0,
+    ),
+    "firestorm": PlatformSpec(
+        name="Firestorm", cpu="Cortex-M4 (SAM4L)", cpu_bits=32, clock_mhz=48,
+        rom_bytes=512 * 1024, ram_bytes=64 * 1024,
+        spi_overhead_factor=2.0,
+    ),
+    "raspberrypi": PlatformSpec(
+        name="Raspberry Pi", cpu="ARM11", cpu_bits=32, clock_mhz=700,
+        rom_bytes=0, ram_bytes=256 * 1024 * 1024,
+        spi_overhead_factor=1.1,
+    ),
+}
+
+
+def phy_profile(platform: str) -> PhyParams:
+    """A PhyParams tuned to the named platform's frame overhead."""
+    spec = PLATFORMS[platform]
+    return PhyParams(spi_overhead_factor=spec.spi_overhead_factor)

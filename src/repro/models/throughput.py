@@ -1,0 +1,81 @@
+"""TCP throughput models (§6.4, §7.2, §8, Appendix B).
+
+Equation 1 (Mathis/Semke/Mahdavi/Ott) models loss-limited TCP::
+
+    B = (MSS / RTT) * sqrt(3 / (2p))
+
+Equation 2 is the paper's buffer-limited LLN model (Appendix B)::
+
+    B = (MSS / RTT) * 1 / (1/w + 2p)
+
+where ``w`` is the window in segments.  The §8 claim that LLN TCP is
+robust to small loss rates is visible directly: the ``1/w`` additive
+term dominates when ``p`` is small, so B barely moves.
+
+The §6.4 single-hop ceiling and §7.2 multihop bound are radio-timing
+arguments reproduced from :class:`repro.phy.params.PhyParams`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.phy.params import PhyParams
+
+
+def mathis_goodput(mss_bytes: int, rtt: float, p: float) -> float:
+    """Equation 1: loss-limited goodput in bits/second."""
+    if not 0 < p < 1:
+        raise ValueError("p must be in (0, 1) for the Mathis model")
+    if rtt <= 0:
+        raise ValueError("rtt must be positive")
+    return (mss_bytes * 8.0 / rtt) * math.sqrt(3.0 / (2.0 * p))
+
+
+def lln_model_goodput(mss_bytes: int, rtt: float, p: float, w: int) -> float:
+    """Equation 2: buffer-limited LLN goodput in bits/second.
+
+    Derivation (Appendix B): a flow is a sequence of bursts of ``b``
+    full windows ended by a loss; b = 1/p_win with p_win ≈ w·p, and the
+    recovery time is modelled as 2 RTTs, giving
+    B = (w·b·MSS) / (b·RTT + 2·RTT) = (MSS/RTT) / (1/w + 2p).
+    """
+    if rtt <= 0:
+        raise ValueError("rtt must be positive")
+    if w < 1:
+        raise ValueError("window must be at least one segment")
+    if not 0 <= p < 1:
+        raise ValueError("p must be in [0, 1)")
+    return (mss_bytes * 8.0 / rtt) / (1.0 / w + 2.0 * p)
+
+
+def single_hop_ceiling(
+    app_bytes_per_segment: int = 462,
+    frames_per_segment: int = 5,
+    phy: PhyParams = PhyParams(),
+    delayed_acks: bool = True,
+) -> float:
+    """§6.4's upper bound on single-hop goodput, bits/second.
+
+    A five-frame segment takes ``frames * 8.2 ms`` to transmit; with
+    delayed ACKs, half the segments cost one extra ACK frame's air time
+    (~4.1 ms), giving the paper's 462 B / 45.1 ms ≈ 82 kb/s.
+    """
+    seg_time = frames_per_segment * phy.frame_tx_time(phy.max_frame_bytes)
+    # the paper charges the TCP ACK at one frame's air time, halved by
+    # delayed ACKs (one ACK per two segments)
+    ack_time = phy.air_time(phy.max_frame_bytes) * (0.5 if delayed_acks else 1.0)
+    return app_bytes_per_segment * 8.0 / (seg_time + ack_time)
+
+
+def multihop_bound(single_hop_bps: float, hops: int) -> float:
+    """§7.2: over h hops at most one of any three adjacent hops can be
+    active, so the bound is B/min(h, 3)."""
+    if hops < 1:
+        raise ValueError("need at least one hop")
+    return single_hop_bps / min(hops, 3)
+
+
+def bandwidth_delay_product(bandwidth_bps: float, rtt: float) -> float:
+    """BDP in bytes (§6.2 uses 125 kb/s × 0.1 s ≈ 1.6 KiB)."""
+    return bandwidth_bps * rtt / 8.0

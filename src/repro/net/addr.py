@@ -1,0 +1,43 @@
+"""Address mapping between simulator node ids and IPv6 addresses.
+
+The simulator routes on small integer node ids; the codec and logs use
+real IPv6 addresses.  Mesh nodes live in the ULA prefix ``fd00::/64``
+(covered by a 6LoWPAN compression context) and cloud hosts live in
+``2001:db8::/64`` (no context — their addresses are carried inline,
+the Table 6 worst case).
+"""
+
+from __future__ import annotations
+
+import ipaddress
+
+MESH_PREFIX = ipaddress.IPv6Network("fd00::/64")
+CLOUD_PREFIX = ipaddress.IPv6Network("2001:db8::/64")
+
+
+def mesh_address(node_id: int) -> ipaddress.IPv6Address:
+    """IPv6 address of a mesh node."""
+    if not 0 <= node_id < 2**16:
+        raise ValueError("mesh node ids must fit in 16 bits")
+    return MESH_PREFIX.network_address + node_id
+
+
+def cloud_address(node_id: int) -> ipaddress.IPv6Address:
+    """IPv6 address of a cloud host."""
+    if not 0 <= node_id < 2**16:
+        raise ValueError("cloud node ids must fit in 16 bits")
+    return CLOUD_PREFIX.network_address + node_id
+
+
+def is_mesh(address: ipaddress.IPv6Address) -> bool:
+    """True if the address is inside the LLN prefix."""
+    return address in MESH_PREFIX
+
+
+def node_id_of(address: ipaddress.IPv6Address) -> int:
+    """Recover the simulator node id from either prefix."""
+    if address in MESH_PREFIX:
+        return int(address) - int(MESH_PREFIX.network_address)
+    if address in CLOUD_PREFIX:
+        return int(address) - int(CLOUD_PREFIX.network_address)
+    raise ValueError(f"{address} is not a simulator address")

@@ -1,0 +1,171 @@
+"""Routing: static tables and a Thread-like mesh.
+
+Thread (§3.2) builds a full mesh among powered, always-on routers and
+attaches battery-powered sleepy leaves to a single parent router.  We
+reproduce that structure: :class:`MeshRouting` computes shortest paths
+over the router connectivity graph (BFS on the medium's geometry),
+attaches each leaf to its best (nearest) router, and sends all
+off-mesh traffic toward the border router.  Experiments that need an
+exact path (the chain topologies of §7) use :class:`StaticRouting`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+
+class StaticRouting:
+    """An explicit (node, dst) -> next-hop table."""
+
+    def __init__(self) -> None:
+        self._table: Dict[Tuple[int, int], int] = {}
+
+    def set_route(self, node: int, dst: int, next_hop: int) -> None:
+        """Install one entry."""
+        self._table[(node, dst)] = next_hop
+
+    def add_path(self, path: Sequence[int]) -> None:
+        """Install forward and reverse routes along ``path`` for its endpoints
+        and for every intermediate destination."""
+        for i, node in enumerate(path):
+            for j, dst in enumerate(path):
+                if i == j:
+                    continue
+                step = path[i + 1] if j > i else path[i - 1]
+                self._table[(node, dst)] = step
+
+    def next_hop(self, node: int, dst: int) -> Optional[int]:
+        """Next hop from ``node`` toward ``dst`` (None if no route)."""
+        if node == dst:
+            return None
+        return self._table.get((node, dst))
+
+
+def _bfs_next_hops(adj: Dict[int, List[int]], source: int) -> Dict[int, int]:
+    """For each reachable node, its next hop on a shortest path *toward*
+    ``source`` (i.e. parent pointers of a BFS tree rooted at source)."""
+    parent: Dict[int, int] = {}
+    visited: Set[int] = {source}
+    frontier = deque([source])
+    while frontier:
+        u = frontier.popleft()
+        for v in adj.get(u, ()):  # deterministic: adjacency lists are sorted
+            if v not in visited:
+                visited.add(v)
+                parent[v] = u
+                frontier.append(v)
+    return parent
+
+
+class MeshRouting:
+    """Thread-like routing over a medium's connectivity graph.
+
+    * Routers (and the border router) form the BFS mesh.
+    * Each leaf routes everything through its parent; the parent knows
+      its attached leaves.
+    * Destinations not in the mesh (cloud hosts) route to the border
+      router, which owns the wired uplink.
+    """
+
+    def __init__(
+        self,
+        border_id: int,
+        router_ids: Iterable[int],
+        leaf_parents: Optional[Dict[int, int]] = None,
+    ):
+        self.border_id = border_id
+        self.router_ids = sorted(set(router_ids) | {border_id})
+        self.leaf_parents = dict(leaf_parents or {})
+        self._next: Dict[Tuple[int, int], int] = {}
+        self._built = False
+
+    @classmethod
+    def build(
+        cls,
+        medium,
+        border_id: int,
+        router_ids: Iterable[int],
+        leaf_ids: Iterable[int] = (),
+    ) -> "MeshRouting":
+        """Construct routes from the medium's geometry.
+
+        Each leaf attaches to the nearest in-range router (its Thread
+        parent).
+        """
+        routing = cls(border_id, router_ids)
+        for leaf in leaf_ids:
+            candidates = [
+                r for r in routing.router_ids if medium.in_range(leaf, r)
+            ]
+            if not candidates:
+                raise ValueError(f"leaf {leaf} has no router in range")
+            parent = min(candidates, key=lambda r: (medium.distance(leaf, r), r))
+            routing.leaf_parents[leaf] = parent
+        routing.rebuild(medium)
+        return routing
+
+    def rebuild(self, medium) -> None:
+        """(Re)compute router-mesh shortest paths from current geometry."""
+        adj: Dict[int, List[int]] = {}
+        for r in self.router_ids:
+            adj[r] = sorted(
+                n for n in self.router_ids if n != r and medium.in_range(r, n)
+            )
+        self._next = {}
+        for dst in self.router_ids:
+            parents = _bfs_next_hops(adj, dst)
+            for node, hop in parents.items():
+                self._next[(node, dst)] = hop
+        self._built = True
+
+    def parent_of(self, leaf: int) -> int:
+        """The Thread parent router of a leaf."""
+        return self.leaf_parents[leaf]
+
+    def attached_leaves(self, router: int) -> List[int]:
+        """Leaves parented to ``router``."""
+        return sorted(l for l, p in self.leaf_parents.items() if p == router)
+
+    def next_hop(self, node: int, dst: int) -> Optional[int]:
+        """Next hop from ``node`` toward ``dst``."""
+        if not self._built:
+            raise RuntimeError("call rebuild()/build() before routing")
+        if node == dst:
+            return None
+        # Leaves send everything to their parent.
+        if node in self.leaf_parents:
+            return self.leaf_parents[node]
+        # Routing toward a leaf: deliver to its parent first.
+        if dst in self.leaf_parents:
+            parent = self.leaf_parents[dst]
+            if node == parent:
+                return dst
+            return self._mesh_hop(node, parent)
+        # Off-mesh destinations go via the border router.
+        if dst not in set(self.router_ids):
+            if node == self.border_id:
+                return dst  # resolved by the border router's wired links
+            return self._mesh_hop(node, self.border_id)
+        return self._mesh_hop(node, dst)
+
+    def _mesh_hop(self, node: int, dst: int) -> Optional[int]:
+        if node == dst:
+            return None
+        return self._next.get((node, dst))
+
+    def hops_between(self, a: int, b: int) -> int:
+        """Hop count of the current route from a to b (for experiments)."""
+        hops = 0
+        node = a
+        seen = set()
+        while node != b:
+            if node in seen or hops > 64:
+                raise RuntimeError("routing loop")
+            seen.add(node)
+            nxt = self.next_hop(node, b)
+            if nxt is None:
+                raise RuntimeError(f"no route {a}->{b} at {node}")
+            node = nxt
+            hops += 1
+        return hops

@@ -1,0 +1,32 @@
+"""IEEE 802.15.4 physical layer substrate.
+
+Models the AT86RF233 radio used by the Hamilton and Firestorm platforms
+in the paper: 250 kb/s on-air rate, 127-byte frames, SPI transfer
+overhead that doubles the effective per-frame transmit time (paper
+§6.4: 4.1 ms on air, 8.2 ms end to end), half-duplex operation, and the
+"deaf listening" hardware-CSMA behaviour that TCPlp works around by
+running CSMA in software (paper §4).
+
+:mod:`repro.phy.medium` provides the shared wireless channel with
+range-based connectivity, carrier sense, and overlap-based collision
+detection — hidden terminals emerge naturally from the geometry.
+:mod:`repro.phy.energy` is the radio/CPU duty-cycle ledger behind every
+power figure in the paper (§9).
+"""
+
+from repro.phy.params import PhyParams
+from repro.phy.energy import CpuMeter, EnergyLedger, RadioState
+from repro.phy.medium import LossModel, Medium, Transmission, UniformLoss
+from repro.phy.radio import Radio
+
+__all__ = [
+    "PhyParams",
+    "RadioState",
+    "EnergyLedger",
+    "CpuMeter",
+    "Medium",
+    "Transmission",
+    "LossModel",
+    "UniformLoss",
+    "Radio",
+]

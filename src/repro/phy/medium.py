@@ -1,0 +1,188 @@
+"""The shared wireless channel.
+
+Connectivity is range-based over node positions (with optional explicit
+overrides for forcing a topology).  A frame is received cleanly only if
+
+* the receiver is within range of the sender,
+* the receiver's radio listened for the frame's entire air time
+  (half-duplex and duty-cycling losses),
+* no other in-range transmission overlapped the frame at the receiver
+  (collisions — this is what makes hidden terminals lossy, §7.1), and
+* no configured loss model dropped it (background interference).
+
+Carrier sense answers "is any transmitter audible to this node right
+now", so two senders that cannot hear each other will happily collide
+at a middle node: the hidden-terminal problem studied in §7.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
+
+from repro.phy.params import PhyParams
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.phy.radio import Radio
+
+#: A loss model takes (sender_id, receiver_id, now) and returns True to drop.
+LossModel = Callable[[int, int, float], bool]
+
+
+class UniformLoss:
+    """Drops frames uniformly at random with fixed probability.
+
+    Optionally restricted to a specific directed link.  Used for
+    controlled background-interference experiments.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        rng: RngStreams,
+        link: Optional[Tuple[int, int]] = None,
+        stream: str = "frame-loss",
+    ):
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("loss rate must be in [0, 1)")
+        self.rate = rate
+        self.rng = rng
+        self.link = link
+        self.stream = stream
+
+    def __call__(self, sender: int, receiver: int, now: float) -> bool:
+        if self.link is not None and (sender, receiver) != self.link:
+            return False
+        return self.rng.random(self.stream) < self.rate
+
+
+class Transmission:
+    """One frame in flight on the channel."""
+
+    __slots__ = ("sender", "frame", "start", "end", "spoiled")
+
+    def __init__(self, sender: "Radio", frame: object, start: float, end: float):
+        self.sender = sender
+        self.frame = frame
+        self.start = start
+        self.end = end
+        #: receivers whose copy was corrupted by an overlapping transmission
+        self.spoiled: Set[int] = set()
+
+
+class Medium:
+    """Range-based broadcast medium with collision detection."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        params: Optional[PhyParams] = None,
+        rng: Optional[RngStreams] = None,
+        comm_range: float = 10.0,
+    ):
+        self.sim = sim
+        self.params = params or PhyParams()
+        self.rng = rng or RngStreams(0)
+        self.comm_range = comm_range
+        self.radios: Dict[int, "Radio"] = {}
+        self.positions: Dict[int, Tuple[float, float]] = {}
+        self._active: List[Transmission] = []
+        self.loss_models: List[LossModel] = []
+        #: (frame, sender, receiver) -> True to drop; for targeted
+        #: fault-injection in tests (e.g. kill one datagram's fragments)
+        self.frame_filters: List[Callable[[object, int, int], bool]] = []
+        self._forced_links: Set[Tuple[int, int]] = set()
+        self._blocked_links: Set[Tuple[int, int]] = set()
+        self.frames_delivered = 0
+        self.frames_collided = 0
+        self.frames_lost = 0
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+    def register(self, radio: "Radio", position: Tuple[float, float]) -> None:
+        """Attach a radio to the channel at the given position."""
+        if radio.node_id in self.radios:
+            raise ValueError(f"node {radio.node_id} already registered")
+        self.radios[radio.node_id] = radio
+        self.positions[radio.node_id] = position
+
+    def force_link(self, a: int, b: int) -> None:
+        """Make a<->b connected regardless of distance."""
+        self._forced_links.add((a, b))
+        self._forced_links.add((b, a))
+
+    def block_link(self, a: int, b: int) -> None:
+        """Make a<->b disconnected regardless of distance."""
+        self._blocked_links.add((a, b))
+        self._blocked_links.add((b, a))
+
+    def distance(self, a: int, b: int) -> float:
+        """Euclidean distance between two registered nodes."""
+        (xa, ya), (xb, yb) = self.positions[a], self.positions[b]
+        return math.hypot(xa - xb, ya - yb)
+
+    def in_range(self, a: int, b: int) -> bool:
+        """True if node b can hear node a's transmissions."""
+        if a == b:
+            return False
+        if (a, b) in self._blocked_links:
+            return False
+        if (a, b) in self._forced_links:
+            return True
+        return self.distance(a, b) <= self.comm_range
+
+    def neighbors(self, node_id: int) -> List[int]:
+        """Nodes that can hear ``node_id``."""
+        return [n for n in self.radios if self.in_range(node_id, n)]
+
+    # ------------------------------------------------------------------
+    # channel activity
+    # ------------------------------------------------------------------
+    def carrier_busy(self, node_id: int) -> bool:
+        """True if any ongoing transmission is audible at ``node_id``."""
+        return any(
+            self.in_range(tx.sender.node_id, node_id) for tx in self._active
+        )
+
+    def begin_transmission(self, sender: "Radio", frame: object, air_time: float) -> Transmission:
+        """Put a frame on the air; schedules its own completion."""
+        now = self.sim.now
+        tx = Transmission(sender, frame, now, now + air_time)
+        # Collision marking: any receiver that can hear both this frame and
+        # an already-ongoing one gets a corrupted copy of each.
+        for other in self._active:
+            for rcv_id in self.radios:
+                if rcv_id == sender.node_id or rcv_id == other.sender.node_id:
+                    continue
+                if self.in_range(sender.node_id, rcv_id) and self.in_range(
+                    other.sender.node_id, rcv_id
+                ):
+                    tx.spoiled.add(rcv_id)
+                    other.spoiled.add(rcv_id)
+        self._active.append(tx)
+        self.sim.schedule(air_time, self._end_transmission, tx)
+        return tx
+
+    def _end_transmission(self, tx: Transmission) -> None:
+        self._active.remove(tx)
+        sender_id = tx.sender.node_id
+        for rcv_id, radio in self.radios.items():
+            if rcv_id == sender_id or not self.in_range(sender_id, rcv_id):
+                continue
+            if rcv_id in tx.spoiled:
+                self.frames_collided += 1
+                continue
+            if not radio.listened_throughout(tx.start):
+                # Asleep, deaf (hardware-CSMA backoff), or transmitting.
+                continue
+            if any(loss(sender_id, rcv_id, self.sim.now) for loss in self.loss_models):
+                self.frames_lost += 1
+                continue
+            if any(f(tx.frame, sender_id, rcv_id) for f in self.frame_filters):
+                self.frames_lost += 1
+                continue
+            self.frames_delivered += 1
+            radio.deliver(tx.frame, sender_id)

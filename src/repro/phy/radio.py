@@ -1,0 +1,169 @@
+"""The per-node radio state machine.
+
+Transmission is a two-phase operation matching the paper's measurement
+(§6.4) that a 127-byte frame takes 8.2 ms end to end although its air
+time is only 4.1 ms: first an SPI-load phase (charged to the CPU meter,
+radio still able to listen), then the air phase (radio in TX, frame on
+the medium).  The MAC drives CSMA in software, so between backoff slots
+the radio stays in LISTEN — the fix for the AT86RF233 "deaf listening"
+problem described in §4.  Setting ``deaf_csma=True`` restores the broken
+hardware behaviour for ablation experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.phy.energy import CpuMeter, EnergyLedger, RadioState
+from repro.phy.medium import Medium
+from repro.phy.params import PhyParams
+from repro.sim.engine import Simulator
+
+
+class Radio:
+    """Half-duplex 802.15.4 radio bound to one node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: Medium,
+        node_id: int,
+        position: tuple,
+        params: Optional[PhyParams] = None,
+        deaf_csma: bool = False,
+    ):
+        self.sim = sim
+        self.medium = medium
+        self.node_id = node_id
+        self.params = params or medium.params
+        self.deaf_csma = deaf_csma
+        self.energy = EnergyLedger(sim)
+        self.cpu = CpuMeter(sim)
+        #: set by the MAC layer: called with (frame, sender_id) on clean receive
+        self.on_frame: Optional[Callable[[object, int], None]] = None
+        self._listen_since: float = sim.now
+        self._tx_busy = False
+        self._load_busy = False
+        self.frames_sent = 0
+        self.frames_received = 0
+        medium.register(self, position)
+
+    # ------------------------------------------------------------------
+    # state control (driven by the MAC)
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> RadioState:
+        return self.energy.state
+
+    def listen(self) -> None:
+        """Enter RX mode; the radio can now hear frames."""
+        if self.state is not RadioState.LISTEN:
+            self.energy.transition(RadioState.LISTEN)
+            self._listen_since = self.sim.now
+
+    def sleep(self) -> None:
+        """Enter the low-power sleep state (cannot hear frames)."""
+        if self._tx_busy:
+            raise RuntimeError("cannot sleep while transmitting")
+        if self.state is not RadioState.SLEEP:
+            self.energy.transition(RadioState.SLEEP)
+
+    def go_deaf(self) -> None:
+        """Enter the hardware-CSMA backoff state: awake but not receiving."""
+        if self.state is not RadioState.DEAF:
+            self.energy.transition(RadioState.DEAF)
+
+    def listened_throughout(self, since: float) -> bool:
+        """True if the radio has been continuously in LISTEN since ``since``."""
+        return self.state is RadioState.LISTEN and self._listen_since <= since
+
+    # ------------------------------------------------------------------
+    # channel assessment
+    # ------------------------------------------------------------------
+    def channel_clear(self) -> bool:
+        """Clear-channel assessment (energy detect at this node)."""
+        return not self.medium.carrier_busy(self.node_id)
+
+    # ------------------------------------------------------------------
+    # transmit path
+    # ------------------------------------------------------------------
+    def load(self, frame_bytes: int, on_done: Callable[[], None]) -> None:
+        """Upload a frame to the radio's buffer over SPI.
+
+        This happens *before* CSMA (real radios transmit from the frame
+        buffer), takes the §6.4-measured SPI time, keeps the radio able
+        to listen, and is charged to the CPU meter.  Retries reuse the
+        loaded buffer without paying this again.
+        """
+        if self._load_busy:
+            raise RuntimeError(f"node {self.node_id}: SPI load while loading")
+        self._validate_size(frame_bytes)
+        self._load_busy = True
+        spi = self.params.spi_time(frame_bytes)
+        self.cpu.charge(spi)
+
+        def finish() -> None:
+            self._load_busy = False
+            on_done()
+
+        self.sim.schedule(spi, finish)
+
+    def transmit(
+        self,
+        frame: object,
+        frame_bytes: int,
+        on_done: Callable[[], None],
+        skip_spi: bool = False,
+    ) -> None:
+        """Send a frame: SPI load (unless ``skip_spi``) then air phase.
+
+        ``skip_spi`` is used for link-layer ACKs (hardware-generated,
+        no frame upload) and for frames already uploaded via ``load``.
+        """
+        if self._tx_busy:
+            raise RuntimeError(f"node {self.node_id}: transmit while busy")
+        self._validate_size(frame_bytes)
+        self._tx_busy = True
+        if skip_spi:
+            self._start_air(frame, frame_bytes, on_done)
+        else:
+            spi = self.params.spi_time(frame_bytes)
+            self.cpu.charge(spi)
+            self.sim.schedule(spi, self._start_air, frame, frame_bytes, on_done)
+
+    def transmit_loaded(
+        self, frame: object, frame_bytes: int, on_done: Callable[[], None]
+    ) -> None:
+        """Put the previously-loaded frame on the air (post-CSMA)."""
+        self.transmit(frame, frame_bytes, on_done, skip_spi=True)
+
+    def _validate_size(self, frame_bytes: int) -> None:
+        if frame_bytes > self.params.max_frame_bytes:
+            raise ValueError(
+                f"frame of {frame_bytes} B exceeds 802.15.4 maximum "
+                f"{self.params.max_frame_bytes} B"
+            )
+
+    def _start_air(self, frame: object, frame_bytes: int, on_done: Callable[[], None]) -> None:
+        self.energy.transition(RadioState.TX)
+        air = self.params.air_time(frame_bytes)
+        self.medium.begin_transmission(self, frame, air)
+        self.sim.schedule(air, self._end_air, on_done)
+
+    def _end_air(self, on_done: Callable[[], None]) -> None:
+        self._tx_busy = False
+        self.frames_sent += 1
+        # Return to listening; the MAC may immediately put us to sleep.
+        self.energy.transition(RadioState.LISTEN)
+        self._listen_since = self.sim.now
+        on_done()
+
+    # ------------------------------------------------------------------
+    # receive path (called by the medium)
+    # ------------------------------------------------------------------
+    def deliver(self, frame: object, sender_id: int) -> None:
+        """A clean frame arrived; charge the SPI read-out and pass it up."""
+        self.frames_received += 1
+        self.cpu.charge(self.params.spi_time(getattr(frame, "byte_size", 32)))
+        if self.on_frame is not None:
+            self.on_frame(frame, sender_id)

@@ -1,0 +1,25 @@
+"""Discrete-event simulation substrate.
+
+Every other subsystem in this reproduction (radio, MAC, 6LoWPAN, IPv6,
+TCP, CoAP) is driven by the scheduler in :mod:`repro.sim.engine`.  The
+engine is deliberately small: a binary-heap event queue with cancellable
+events, a simulated clock, and per-simulation deterministic random
+number streams (:mod:`repro.sim.rng`).  :mod:`repro.sim.trace` provides
+counters and time-series recorders used by the experiment harness to
+extract goodput, duty cycles, and cwnd traces.
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.rng import RngStreams
+from repro.sim.timers import Timer
+from repro.sim.trace import Counter, SeriesRecorder, TraceRecorder
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "RngStreams",
+    "Timer",
+    "Counter",
+    "SeriesRecorder",
+    "TraceRecorder",
+]

@@ -1,0 +1,157 @@
+"""Event scheduler: the heart of the LLN simulator.
+
+The simulator keeps virtual time as a float number of seconds.  Events
+are callbacks scheduled at absolute times; ties are broken by insertion
+order so that runs are fully deterministic.  Cancellation is handled by
+tombstoning (the heap entry stays but is skipped), which keeps both
+``schedule`` and ``cancel`` O(log n) / O(1).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+
+class SimulationError(Exception):
+    """Raised for invalid scheduler usage (e.g. scheduling in the past)."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are returned by :meth:`Simulator.schedule` and can be
+    cancelled with :meth:`cancel` (or ``Simulator.cancel``).  A fired or
+    cancelled event is inert; cancelling twice is harmless.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "fired")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent this event from firing. Safe to call multiple times."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is scheduled and may still fire."""
+        return not (self.cancelled or self.fired)
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<Event t={self.time:.6f} {name} {state}>"
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(1.0, callback, arg1, arg2)
+        sim.run(until=10.0)
+
+    The clock starts at 0.0.  ``run`` processes events in (time, insertion
+    order) until the queue drains, ``until`` is reached, or ``stop()`` is
+    called from within a callback.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List[Event] = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self.now}"
+            )
+        ev = Event(time, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._queue, ev)
+        return ev
+
+    def cancel(self, event: Optional[Event]) -> None:
+        """Cancel ``event`` if it is pending; ``None`` is accepted."""
+        if event is not None:
+            event.cancel()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> None:
+        """Process events until the queue drains or ``until`` is reached.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if the last event fires earlier, so duty-cycle accounting over
+        a fixed horizon is exact.
+        """
+        self._running = True
+        self._stopped = False
+        try:
+            while self._queue and not self._stopped:
+                ev = self._queue[0]
+                if until is not None and ev.time > until:
+                    break
+                heapq.heappop(self._queue)
+                if ev.cancelled:
+                    continue
+                self.now = ev.time
+                ev.fired = True
+                self.events_processed += 1
+                ev.fn(*ev.args)
+            if until is not None and self.now < until and not self._stopped:
+                self.now = until
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Process a single event. Returns False when the queue is empty."""
+        while self._queue:
+            ev = heapq.heappop(self._queue)
+            if ev.cancelled:
+                continue
+            self.now = ev.time
+            ev.fired = True
+            self.events_processed += 1
+            ev.fn(*ev.args)
+            return True
+        return False
+
+    def stop(self) -> None:
+        """Stop ``run`` after the current callback returns."""
+        self._stopped = True
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or None if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def pending_count(self) -> int:
+        """Number of non-cancelled events still queued (O(n); for tests)."""
+        return sum(1 for ev in self._queue if not ev.cancelled)

@@ -1,0 +1,72 @@
+"""Restartable one-shot timers built on the event scheduler.
+
+TCP and the MAC layer juggle many timers (retransmit, delayed-ACK,
+persist, keepalive, link-retry, poll).  :class:`Timer` wraps the
+schedule/cancel dance: ``start`` (re)arms, ``stop`` disarms, and the
+callback only fires if the timer is still armed.  This mirrors the
+"tickless timer" adaptation described in §4.1 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import Event, Simulator
+
+
+class Timer:
+    """A restartable one-shot timer.
+
+    The callback receives no arguments; bind state via closure or
+    functools.partial at construction time.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[[], Any], name: str = ""):
+        self.sim = sim
+        self.callback = callback
+        self.name = name
+        self._event: Optional[Event] = None
+
+    @property
+    def armed(self) -> bool:
+        """True if the timer is pending."""
+        return self._event is not None and self._event.pending
+
+    @property
+    def expiry(self) -> Optional[float]:
+        """Absolute expiry time if armed, else None."""
+        if self.armed:
+            assert self._event is not None
+            return self._event.time
+        return None
+
+    def start(self, delay: float) -> None:
+        """(Re)arm the timer ``delay`` seconds from now."""
+        self.stop()
+        self._event = self.sim.schedule(delay, self._fire)
+
+    def start_if_idle(self, delay: float) -> None:
+        """Arm the timer only if it is not already armed."""
+        if not self.armed:
+            self.start(delay)
+
+    def stop(self) -> None:
+        """Disarm the timer if armed."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def remaining(self) -> float:
+        """Seconds until expiry (0.0 if not armed)."""
+        if self.armed:
+            assert self._event is not None
+            return max(0.0, self._event.time - self.sim.now)
+        return 0.0
+
+    def _fire(self) -> None:
+        self._event = None
+        self.callback()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"armed@{self.expiry:.6f}" if self.armed else "idle"
+        return f"<Timer {self.name or self.callback!r} {state}>"

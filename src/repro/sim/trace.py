@@ -1,0 +1,120 @@
+"""Counters and time-series recorders for experiment metrics.
+
+The experiment harness extracts every number the paper reports (goodput,
+segment-loss rate, RTT percentiles, duty cycles, cwnd traces, frame
+counts) from these primitives rather than ad-hoc prints, so tests can
+assert on them directly.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class Counter:
+    """A named bag of monotonically increasing integer counters."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = defaultdict(int)
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Increase ``name`` by ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError("counters are monotonic; use a gauge instead")
+        self._counts[name] += amount
+
+    def get(self, name: str) -> int:
+        """Current value of ``name`` (0 if never incremented)."""
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Snapshot of all counters."""
+        return dict(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({dict(self._counts)!r})"
+
+
+class SeriesRecorder:
+    """Records (time, value) samples for one quantity (e.g. cwnd)."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        """Append a sample; times must be non-decreasing."""
+        if self.times and time < self.times[-1]:
+            raise ValueError("samples must be recorded in time order")
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def window(self, t0: float, t1: float) -> List[Tuple[float, float]]:
+        """Samples with t0 <= time <= t1."""
+        return [
+            (t, v) for t, v in zip(self.times, self.values) if t0 <= t <= t1
+        ]
+
+    def last(self) -> Optional[float]:
+        """Most recent value, or None if empty."""
+        return self.values[-1] if self.values else None
+
+    def mean(self) -> float:
+        """Unweighted mean of sample values (0.0 if empty)."""
+        if not self.values:
+            return 0.0
+        return sum(self.values) / len(self.values)
+
+    def time_weighted_mean(self, until: float) -> float:
+        """Mean of the step function defined by the samples up to ``until``."""
+        if not self.times:
+            return 0.0
+        total = 0.0
+        for i, (t, v) in enumerate(zip(self.times, self.values)):
+            t_next = self.times[i + 1] if i + 1 < len(self.times) else until
+            t_next = min(t_next, until)
+            if t_next > t:
+                total += v * (t_next - t)
+        span = until - self.times[0]
+        return total / span if span > 0 else (self.values[-1] if self.values else 0.0)
+
+
+class TraceRecorder:
+    """A container for named counters and series used by one simulation."""
+
+    def __init__(self) -> None:
+        self.counters = Counter()
+        self._series: Dict[str, SeriesRecorder] = {}
+
+    def series(self, name: str) -> SeriesRecorder:
+        """Return (creating on first use) the named series."""
+        s = self._series.get(name)
+        if s is None:
+            s = SeriesRecorder(name)
+            self._series[name] = s
+        return s
+
+    def has_series(self, name: str) -> bool:
+        """True if the named series has been created."""
+        return name in self._series
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """Linear-interpolation percentile (q in [0, 100]) of ``values``."""
+    data = sorted(values)
+    if not data:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError("q must be within [0, 100]")
+    if len(data) == 1:
+        return data[0]
+    pos = (len(data) - 1) * q / 100.0
+    lo = int(pos)
+    hi = min(lo + 1, len(data) - 1)
+    frac = pos - lo
+    return data[lo] * (1 - frac) + data[hi] * frac

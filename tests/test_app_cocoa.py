@@ -1,0 +1,103 @@
+"""CoCoA RTO estimator: weak/strong estimators, VBF, aging, ratchet."""
+
+import pytest
+
+from repro.app.cocoa import CocoaRtoEstimator
+
+
+def test_initial_rto_default():
+    est = CocoaRtoEstimator()
+    assert est.rto == 2.0
+
+
+def test_strong_samples_track_rtt():
+    est = CocoaRtoEstimator()
+    for _ in range(50):
+        est.on_sample(0.3, weak=False)
+    assert est.rto < 1.0
+    assert est.strong_samples == 50
+
+
+def test_weak_sample_inflates_rto():
+    est = CocoaRtoEstimator()
+    for _ in range(20):
+        est.on_sample(0.3, weak=False)
+    before = est.rto
+    est.on_sample(5.0, weak=True)  # backoff-inflated measurement
+    assert est.rto > before
+
+
+def test_er_cocoa_ratchets_under_a_loss_burst():
+    """The §9.4 failure: during a loss burst, every exchange is
+    retransmitted and its RTT is measured from the first transmission,
+    so each sample includes the (growing) backoff wait — the RTO
+    ratchets far above the 0.3 s true RTT."""
+    est = CocoaRtoEstimator(mode="er-cocoa")
+    for _ in range(20):
+        est.on_sample(0.3, weak=False)
+    start = est.rto
+    for _ in range(12):
+        # one backoff of the current RTO plus the true RTT
+        est.on_sample(est.rto * (1 + est.backoff_factor()) / 2 + 0.3,
+                      weak=True)
+    assert est.rto > max(3.0, 4 * start)
+
+
+def test_spec_mode_ratchets_less():
+    def run(mode):
+        est = CocoaRtoEstimator(mode=mode)
+        for _ in range(30):
+            for _ in range(3):
+                est.on_sample(0.3, weak=False)
+            est.on_sample(est.rto + 0.3, weak=True)
+        return est.rto
+
+    assert run("spec") < run("er-cocoa")
+
+
+def test_variable_backoff_factor():
+    est = CocoaRtoEstimator()
+    est.rto = 0.5
+    assert est.backoff_factor() == 3.0
+    est.rto = 2.0
+    assert est.backoff_factor() == 2.0
+    est.rto = 5.0
+    assert est.backoff_factor() == 1.5
+
+
+def test_aging_decays_large_rto():
+    est = CocoaRtoEstimator()
+    est.on_sample(0.3, weak=False, now=0.0)
+    est.rto = 20.0
+    # unused for > 4x RTO: decays as 1 + RTO/2
+    assert est.current_rto(now=100.0) == pytest.approx(11.0)
+
+
+def test_aging_grows_tiny_rto():
+    est = CocoaRtoEstimator()
+    est.on_sample(0.05, weak=False, now=0.0)
+    est.rto = 0.2
+    assert est.current_rto(now=10.0) == pytest.approx(0.4)
+
+
+def test_no_aging_without_clock():
+    est = CocoaRtoEstimator()
+    est.rto = 20.0
+    assert est.current_rto() == 20.0
+
+
+def test_rto_clamped_to_max():
+    est = CocoaRtoEstimator(rto_max=30.0)
+    for _ in range(50):
+        est.on_sample(100.0, weak=True)
+    assert est.rto <= 30.0
+
+
+def test_rejects_negative_sample():
+    with pytest.raises(ValueError):
+        CocoaRtoEstimator().on_sample(-1.0, weak=False)
+
+
+def test_rejects_unknown_mode():
+    with pytest.raises(ValueError):
+        CocoaRtoEstimator(mode="bogus")

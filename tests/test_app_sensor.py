@@ -1,0 +1,151 @@
+"""Anemometer application: sampling, queueing, batching, transports."""
+
+import pytest
+
+from repro.app.coap import CoapClient
+from repro.app.sensor import (
+    AnemometerConfig,
+    AnemometerNode,
+    CoapTransport,
+    ReadingServer,
+    TcpTransport,
+)
+from repro.core.params import linux_like_params
+from repro.core.simplified import tcplp_params
+from repro.core.socket_api import TcpStack
+from repro.experiments.topology import CLOUD_ID, build_chain
+from repro.sim.engine import Simulator
+
+
+class RecordingTransport:
+    """Test double that records pulls."""
+
+    def __init__(self):
+        self.app = None
+        self.pulled = []
+
+    def attach(self, app):
+        self.app = app
+
+    def pull(self):
+        while self.app.can_send():
+            self.pulled.append(self.app.pop_readings(5))
+
+
+def test_sampling_produces_82_byte_readings():
+    sim = Simulator()
+    transport = RecordingTransport()
+    app = AnemometerNode(sim, transport, AnemometerConfig(batching=False))
+    app.start()
+    sim.run(until=3.5)
+    assert app.generated == 3
+    total = sum(len(b) for b in transport.pulled)
+    assert total == 3 * 82
+
+
+def test_batching_waits_for_batch_size():
+    sim = Simulator()
+    transport = RecordingTransport()
+    app = AnemometerNode(sim, transport, AnemometerConfig(
+        batching=True, batch_size=10, queue_capacity=20))
+    app.start()
+    sim.run(until=9.5)
+    assert transport.pulled == []  # not yet at 10 readings
+    sim.run(until=10.5)
+    assert sum(len(b) for b in transport.pulled) == 10 * 82
+
+
+def test_queue_overflow_drops_new_readings():
+    sim = Simulator()
+
+    class StuckTransport(RecordingTransport):
+        def pull(self):
+            pass  # never drains
+
+    transport = StuckTransport()
+    app = AnemometerNode(sim, transport, AnemometerConfig(
+        batching=False, queue_capacity=5))
+    app.start()
+    sim.run(until=8.5)
+    assert app.generated == 8
+    assert app.overflowed == 3
+    assert len(app.queue) == 5
+
+
+def test_reliability_metric():
+    sim = Simulator()
+    app = AnemometerNode(sim, RecordingTransport(), AnemometerConfig())
+    app.generated = 200
+    assert app.reliability_against(150) == pytest.approx(0.75)
+
+
+def test_readings_carry_sequence_numbers():
+    sim = Simulator()
+    transport = RecordingTransport()
+    app = AnemometerNode(sim, transport, AnemometerConfig(batching=False))
+    app.start()
+    sim.run(until=2.5)
+    first = transport.pulled[0][:4]
+    assert int.from_bytes(first, "big") == 1
+
+
+def test_tcp_transport_end_to_end():
+    net = build_chain(1, seed=2)
+    server = ReadingServer(net.sim)
+    cloud_stack = TcpStack(net.sim, net.cloud, CLOUD_ID,
+                           default_params=linux_like_params())
+    server.attach_tcp(cloud_stack, port=8000)
+    stack = TcpStack(net.sim, net.nodes[1].ipv6, 1)
+    transport = TcpTransport(net.sim, stack, CLOUD_ID, server_port=8000,
+                             params=tcplp_params(to_cloud=True))
+    app = AnemometerNode(net.sim, transport, AnemometerConfig(
+        batching=True, batch_size=5, queue_capacity=64))
+    app.start()
+    net.sim.run(until=20.0)
+    assert server.tcp_readings >= 15
+    assert app.overflowed == 0
+
+
+def test_coap_transport_end_to_end():
+    net = build_chain(1, seed=3)
+    server = ReadingServer(net.sim)
+    server.attach_coap(net.cloud)
+    client = CoapClient(net.sim, net.nodes[1].udp, net.rng, CLOUD_ID)
+    transport = CoapTransport(client)
+    app = AnemometerNode(net.sim, transport, AnemometerConfig(
+        batching=True, batch_size=5, queue_capacity=104))
+    app.start()
+    net.sim.run(until=20.0)
+    assert server.coap_readings >= 15
+
+
+def test_tcp_transport_reconnects_after_error():
+    net = build_chain(1, seed=4)
+    server = ReadingServer(net.sim)
+    cloud_stack = TcpStack(net.sim, net.cloud, CLOUD_ID,
+                           default_params=linux_like_params())
+    server.attach_tcp(cloud_stack, port=8000)
+    stack = TcpStack(net.sim, net.nodes[1].ipv6, 1)
+    transport = TcpTransport(net.sim, stack, CLOUD_ID, server_port=8000,
+                             params=tcplp_params(to_cloud=True),
+                             reconnect_delay=0.5)
+    app = AnemometerNode(net.sim, transport, AnemometerConfig(batching=False))
+    app.start()
+    net.sim.run(until=5.0)
+    # kill the connection out from under the transport
+    transport.conn._error_out("injected failure")
+    net.sim.run(until=15.0)
+    assert transport.reconnects == 1
+    assert transport.conn.is_open
+    assert server.tcp_readings >= 10
+
+
+def test_phase_staggers_first_sample():
+    sim = Simulator()
+    transport = RecordingTransport()
+    app = AnemometerNode(sim, transport, AnemometerConfig(batching=False))
+    app.start(phase=5.0)
+    sim.run(until=5.5)
+    assert app.generated == 0
+    sim.run(until=6.5)
+    assert app.generated == 1

@@ -1,0 +1,77 @@
+"""Trickle timer behaviour (RFC 6206)."""
+
+import pytest
+
+from repro.mac.trickle import TrickleTimer
+from repro.sim.engine import Simulator
+
+
+def test_interval_doubles_to_imax():
+    sim = Simulator()
+    intervals = []
+    t = TrickleTimer(sim, imin=1.0, imax=8.0, on_interval=intervals.append)
+    t.start()
+    sim.run(until=30.0)
+    assert intervals[0] == 1.0
+    assert max(intervals) == 8.0
+    # doubling sequence
+    assert intervals[:4] == [1.0, 2.0, 4.0, 8.0]
+
+
+def test_inconsistency_resets_to_imin():
+    sim = Simulator()
+    intervals = []
+    t = TrickleTimer(sim, imin=1.0, imax=8.0, on_interval=intervals.append)
+    t.start()
+    sim.schedule(10.0, t.hear_inconsistent)
+    sim.run(until=10.5)
+    assert intervals[-1] == 1.0
+
+
+def test_suppression_with_k():
+    sim = Simulator()
+    fired = []
+    t = TrickleTimer(sim, imin=1.0, imax=1.0, k=1,
+                     on_transmit=lambda: fired.append(sim.now))
+    t.start()
+    # a consistent message early in every interval suppresses transmission
+
+    def suppress():
+        t.hear_consistent()
+        if sim.now < 5:
+            sim.schedule(1.0, suppress)
+
+    sim.schedule(0.1, suppress)
+    sim.run(until=5.0)
+    assert fired == []
+
+
+def test_transmit_fires_without_suppression():
+    sim = Simulator()
+    fired = []
+    t = TrickleTimer(sim, imin=1.0, imax=1.0, k=1,
+                     on_transmit=lambda: fired.append(sim.now))
+    t.start()
+    sim.run(until=3.5)
+    assert len(fired) == 3
+    # tx point in the second half of each interval
+    for i, when in enumerate(fired):
+        assert i + 0.5 <= when <= i + 1.0
+
+
+def test_stop_halts_callbacks():
+    sim = Simulator()
+    intervals = []
+    t = TrickleTimer(sim, imin=1.0, imax=8.0, on_interval=intervals.append)
+    t.start()
+    sim.schedule(2.5, t.stop)
+    sim.run(until=20.0)
+    assert len(intervals) == 2
+
+
+def test_validates_intervals():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        TrickleTimer(sim, imin=0, imax=1)
+    with pytest.raises(ValueError):
+        TrickleTimer(sim, imin=2.0, imax=1.0)

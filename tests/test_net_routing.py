@@ -1,0 +1,97 @@
+"""Routing: static tables and the Thread-like mesh."""
+
+import pytest
+
+from repro.net.routing import MeshRouting, StaticRouting
+from repro.phy.medium import Medium
+from repro.phy.radio import Radio
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+
+
+class TestStaticRouting:
+    def test_path_installs_bidirectional_routes(self):
+        r = StaticRouting()
+        r.add_path([0, 1, 2, 3])
+        assert r.next_hop(3, 0) == 2
+        assert r.next_hop(0, 3) == 1
+        assert r.next_hop(1, 3) == 2
+        assert r.next_hop(2, 0) == 1
+
+    def test_self_route_is_none(self):
+        r = StaticRouting()
+        r.add_path([0, 1])
+        assert r.next_hop(0, 0) is None
+
+    def test_unknown_destination_is_none(self):
+        r = StaticRouting()
+        r.add_path([0, 1])
+        assert r.next_hop(0, 99) is None
+
+    def test_set_route_overrides(self):
+        r = StaticRouting()
+        r.set_route(5, 9, 7)
+        assert r.next_hop(5, 9) == 7
+
+
+def make_medium(positions, comm_range=10.0):
+    sim = Simulator()
+    medium = Medium(sim, rng=RngStreams(0), comm_range=comm_range)
+    for nid, pos in positions.items():
+        Radio(sim, medium, nid, pos)
+    return medium
+
+
+class TestMeshRouting:
+    def test_line_of_routers(self):
+        medium = make_medium({0: (0, 0), 1: (8, 0), 2: (16, 0)})
+        routing = MeshRouting(border_id=0, router_ids=[0, 1, 2])
+        routing.rebuild(medium)
+        assert routing.next_hop(2, 0) == 1
+        assert routing.next_hop(0, 2) == 1
+        assert routing.hops_between(2, 0) == 2
+
+    def test_leaf_routes_through_parent(self):
+        medium = make_medium({0: (0, 0), 1: (8, 0), 10: (14, 0)})
+        routing = MeshRouting.build(medium, border_id=0, router_ids=[0, 1],
+                                    leaf_ids=[10])
+        assert routing.parent_of(10) == 1
+        assert routing.next_hop(10, 0) == 1
+        # toward the leaf: hop to the parent first, then the leaf
+        assert routing.next_hop(0, 10) == 1
+        assert routing.next_hop(1, 10) == 10
+        assert routing.attached_leaves(1) == [10]
+
+    def test_off_mesh_destination_goes_to_border(self):
+        medium = make_medium({0: (0, 0), 1: (8, 0)})
+        routing = MeshRouting(border_id=0, router_ids=[0, 1])
+        routing.rebuild(medium)
+        assert routing.next_hop(1, 1000) == 0
+        # the border resolves it itself (wired link)
+        assert routing.next_hop(0, 1000) == 1000
+
+    def test_leaf_picks_nearest_router(self):
+        medium = make_medium({0: (0, 0), 1: (8, 0), 10: (9, 0)})
+        routing = MeshRouting.build(medium, border_id=0, router_ids=[0, 1],
+                                    leaf_ids=[10])
+        assert routing.parent_of(10) == 1
+
+    def test_isolated_leaf_rejected(self):
+        medium = make_medium({0: (0, 0), 10: (50, 0)})
+        with pytest.raises(ValueError):
+            MeshRouting.build(medium, border_id=0, router_ids=[0],
+                              leaf_ids=[10])
+
+    def test_route_before_rebuild_raises(self):
+        routing = MeshRouting(border_id=0, router_ids=[0, 1])
+        with pytest.raises(RuntimeError):
+            routing.next_hop(0, 1)
+
+    def test_rebuild_after_topology_change(self):
+        medium = make_medium({0: (0, 0), 1: (8, 0), 2: (16, 0)})
+        routing = MeshRouting(border_id=0, router_ids=[0, 1, 2])
+        routing.rebuild(medium)
+        assert routing.next_hop(2, 0) == 1
+        medium.force_link(0, 2)
+        routing.rebuild(medium)
+        assert routing.next_hop(2, 0) == 0  # direct now

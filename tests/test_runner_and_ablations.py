@@ -1,0 +1,81 @@
+"""Batch runner plumbing and ablation-harness smoke tests."""
+
+import json
+
+import pytest
+
+from repro.experiments.exp_ablations import ABLATIONS, run_ablation
+from repro.experiments.runner import experiment_registry, main, run_all
+
+
+class TestAblationHarness:
+    def test_all_named_ablations_runnable(self):
+        row = run_ablation("full TCPlp", scenario="clean-1hop",
+                           duration=10.0)
+        assert row["goodput_kbps"] > 0
+        assert row["scenario"] == "clean-1hop"
+
+    def test_window_ablation_shrinks_buffers(self):
+        from repro.core.simplified import tcplp_params
+
+        mutate = ABLATIONS["1-segment window"]
+        p = mutate(tcplp_params())
+        assert p.send_buffer == p.mss
+        assert p.recv_buffer == p.mss
+
+    def test_full_profile_unmutated(self):
+        from repro.core.simplified import tcplp_params
+
+        assert ABLATIONS["full TCPlp"](tcplp_params()) == tcplp_params()
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            run_ablation("full TCPlp", scenario="marsnet")
+
+    def test_lossy_scenario_produces_segment_loss(self):
+        row = run_ablation("full TCPlp", scenario="lossy-1hop",
+                           duration=30.0, frame_loss=0.15)
+        assert row["segment_loss"] > 0.03
+
+
+class TestRunner:
+    def test_registry_covers_every_table_and_figure(self):
+        names = set(experiment_registry(quick=True))
+        for required in (
+            "static_tables", "fig4_mss", "fig5_buffer", "table7_stacks",
+            "fig6a_one_hop", "fig6bcd_three_hops", "fig7a_cwnd",
+            "eq2_validation", "sec72_hops", "fig8_batching", "fig9_loss",
+            "fig10_daylong_tcp", "table8", "table9_fairness",
+            "appendixC_fig12", "appendixC_adaptive",
+        ):
+            assert required in names, required
+
+    def test_run_all_subset_and_error_isolation(self):
+        results = run_all(quick=True, only=["static_tables"],
+                          progress=lambda *_: None)
+        assert set(results) == {"static_tables"}
+        assert results["static_tables"]["memory_model"][
+            "active_socket_bytes"] > 0
+
+    def test_broken_experiment_reported_not_raised(self, monkeypatch):
+        import repro.experiments.runner as runner_mod
+
+        registry = runner_mod.experiment_registry(True)
+
+        def boom():
+            raise RuntimeError("injected")
+
+        monkeypatch.setattr(
+            runner_mod, "experiment_registry",
+            lambda quick: {"boom": boom, "static_tables": registry["static_tables"]},
+        )
+        results = runner_mod.run_all(quick=True, progress=lambda *_: None)
+        assert results["boom"] == {"error": "RuntimeError: injected"}
+        assert "memory_model" in results["static_tables"]
+
+    def test_cli_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "r.json"
+        code = main(["--quick", "-o", str(out), "--only", "static_tables"])
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert "static_tables" in data

@@ -1,0 +1,163 @@
+"""Fault-injection tests: TCP's end-to-end contract under hostile networks.
+
+The invariant: whatever frames the network mangles, drops, or delays,
+the receiving application sees exactly the byte stream the sender
+wrote — in order, without gaps or duplicates — or the connection
+reports an error.  Silent corruption is never acceptable.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.simplified import tcplp_params, uip_params
+from repro.core.socket_api import TcpStack
+from repro.experiments.topology import build_chain, build_pair
+from repro.phy.medium import UniformLoss
+from repro.sim.rng import RngStreams
+
+
+def run_transfer(net, payload, sender_id, receiver_id, params_tx, params_rx,
+                 deadline=600.0):
+    stack_tx = TcpStack(net.sim, net.nodes[sender_id].ipv6, sender_id)
+    stack_rx = TcpStack(net.sim, net.nodes[receiver_id].ipv6, receiver_id)
+    got = []
+    done = []
+
+    def on_accept(conn):
+        conn.on_data = got.append
+
+    stack_rx.listen(8000, on_accept, params=params_rx)
+    conn = stack_tx.connect(receiver_id, 8000, params=params_tx)
+    errors = []
+    conn.on_error = errors.append
+    sent = [0]
+
+    def fill():
+        while sent[0] < len(payload) and conn.send_buf.free > 0:
+            n = conn.send(payload[sent[0]: sent[0] + 512])
+            if n == 0:
+                break
+            sent[0] += n
+
+    conn.on_connect = fill
+    conn.on_send_space = fill
+    net.sim.run(until=deadline)
+    return b"".join(got), errors
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    loss=st.floats(min_value=0.0, max_value=0.25),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_stream_integrity_under_random_frame_loss(loss, seed):
+    net = build_pair(seed=seed)
+    net.medium.loss_models.append(
+        UniformLoss(loss, RngStreams(seed + 1))
+    )
+    payload = bytes(range(256)) * 24  # 6 KiB, position-identifying bytes
+    data, errors = run_transfer(net, payload, 0, 1,
+                                tcplp_params(), tcplp_params())
+    if not errors:
+        assert data == payload
+    else:
+        # a declared failure is acceptable; silent corruption is not
+        assert data == payload[: len(data)]
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_stream_integrity_multihop_with_hidden_terminals(seed):
+    net = build_chain(3, seed=seed, with_cloud=False)
+    # d = 0: worst-case hidden-terminal collisions (§7.1)
+    payload = bytes((i * 7 + 3) % 256 for i in range(4096))
+    data, errors = run_transfer(net, payload, 3, 0,
+                                tcplp_params(), tcplp_params())
+    if not errors:
+        assert data == payload
+    else:
+        assert data == payload[: len(data)]
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_stream_integrity_asymmetric_params(seed):
+    """A full-featured sender against a crippled uIP-like receiver."""
+    net = build_pair(seed=seed)
+    net.medium.loss_models.append(UniformLoss(0.1, RngStreams(seed + 7)))
+    payload = bytes((i * 13 + 1) % 256 for i in range(2048))
+    data, errors = run_transfer(net, payload, 0, 1,
+                                tcplp_params(), uip_params(mss_frames=4))
+    if not errors:
+        assert data == payload
+    else:
+        assert data == payload[: len(data)]
+
+
+def test_route_change_mid_transfer():
+    """Re-route the flow through a different relay mid-transfer; TCP's
+    retransmissions absorb the disruption."""
+    net = build_chain(3, seed=77, with_cloud=False)
+    # add an alternate relay (node 9) parallel to node 2
+    from repro.net.node import Node
+    alt = Node(net.sim, net.medium, net.rng, 9, (16.0, 3.0), net.routing)
+    net.nodes[9] = alt
+    payload = bytes(range(256)) * 16
+    stack_tx = TcpStack(net.sim, net.nodes[3].ipv6, 3)
+    stack_rx = TcpStack(net.sim, net.nodes[0].ipv6, 0)
+    got = []
+    stack_rx.listen(8000, lambda c: setattr(c, "on_data", got.append),
+                    params=tcplp_params())
+    conn = stack_tx.connect(0, 8000, params=tcplp_params())
+    sent = [0]
+
+    def fill():
+        while sent[0] < len(payload) and conn.send_buf.free > 0:
+            n = conn.send(payload[sent[0]: sent[0] + 512])
+            sent[0] += n
+            if n == 0:
+                break
+
+    conn.on_connect = fill
+    conn.on_send_space = fill
+
+    def reroute():
+        # switch the middle relay from node 2 to node 9
+        net.routing.set_route(3, 0, 9)
+        net.routing.set_route(9, 0, 1)
+        net.routing.set_route(1, 3, 9)
+        net.routing.set_route(9, 3, 3)
+
+    net.sim.schedule(2.0, reroute)
+    net.sim.run(until=120.0)
+    assert b"".join(got) == payload
+
+
+def test_border_router_blackout_and_recovery():
+    """The first hop dies for 5 seconds mid-flow; the connection
+    backs off, survives, and finishes once the link heals."""
+    net = build_pair(seed=88)
+    payload = bytes(range(256)) * 48  # big enough to straddle the outage
+    data_box = []
+    stack_tx = TcpStack(net.sim, net.nodes[0].ipv6, 0)
+    stack_rx = TcpStack(net.sim, net.nodes[1].ipv6, 1)
+    stack_rx.listen(8000, lambda c: setattr(c, "on_data", data_box.append),
+                    params=tcplp_params())
+    conn = stack_tx.connect(1, 8000, params=tcplp_params())
+    sent = [0]
+
+    def fill():
+        while sent[0] < len(payload) and conn.send_buf.free > 0:
+            n = conn.send(payload[sent[0]: sent[0] + 512])
+            sent[0] += n
+            if n == 0:
+                break
+
+    conn.on_connect = fill
+    conn.on_send_space = fill
+    net.sim.schedule(0.3, lambda: net.medium.block_link(0, 1))
+    net.sim.schedule(5.3, net.medium._blocked_links.clear)
+    net.sim.run(until=120.0)
+    assert b"".join(data_box) == payload
+    assert conn.trace.counters.get("tcp.rto_events") >= 1

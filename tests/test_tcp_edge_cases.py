@@ -1,0 +1,231 @@
+"""TCP edge cases: persist, ECN, challenge ACKs, feature flags, timers."""
+
+import pytest
+
+from repro.core.connection import TcpConnection, TcpState
+from repro.core.params import TcpParams
+from repro.core.segment import FLAG_ACK, FLAG_RST, FLAG_SYN, Segment
+from repro.core.simplified import (
+    FEATURE_MATRIX,
+    blip_params,
+    gnrc_params,
+    tcplp_params,
+    uip_params,
+)
+from repro.core.socket_api import TcpStack
+from repro.experiments.topology import build_pair
+from repro.net.queues import RedParams
+
+
+def make_conn_pair(seed=0, params_a=None, params_b=None):
+    net = build_pair(seed=seed)
+    sa = TcpStack(net.sim, net.nodes[0].ipv6, 0)
+    sb = TcpStack(net.sim, net.nodes[1].ipv6, 1)
+    server_conns = []
+    sb.listen(8000, server_conns.append, params=params_b or tcplp_params())
+    conn = sa.connect(1, 8000, params=params_a or tcplp_params())
+    net.sim.run(until=2.0)
+    assert server_conns, "handshake failed"
+    return net, conn, server_conns[0]
+
+
+class TestZeroWindow:
+    def test_persist_probes_fire_on_zero_window(self):
+        params = tcplp_params()
+        net, conn, server = make_conn_pair(params_a=params, params_b=params)
+        # server app never reads: fill its window completely
+        total = params.recv_buffer + 300
+        sent = [0]
+
+        def fill():
+            while sent[0] < total and conn.send_buf.free > 0:
+                n = conn.send(b"q" * min(128, total - sent[0]))
+                if n == 0:
+                    return
+                sent[0] += n
+
+        conn.on_send_space = fill
+        fill()
+        net.sim.run(until=40.0)
+        assert conn.snd_wnd == 0
+        assert conn.trace.counters.get("tcp.zero_window_probes") >= 1
+        # now the app reads; everything eventually arrives
+        server.recv()
+        net.sim.run(until=120.0)
+        assert server.recv_buf.available + 0 >= 0  # no crash
+        delivered = total - conn.send_buf.used - (total - sent[0])
+        assert conn.snd_wnd > 0
+
+    def test_window_update_reopens_flow(self):
+        params = tcplp_params()
+        net, conn, server = make_conn_pair(params_a=params, params_b=params)
+        conn.send(b"z" * params.recv_buffer)
+        net.sim.run(until=20.0)
+        assert server.recv_buf.available == params.recv_buffer
+        got = server.recv(100)
+        assert len(got) == 100
+        # reading 100 < MSS bytes should NOT trigger an update yet;
+        # reading a full MSS worth must
+        server.recv()
+        net.sim.run(until=25.0)
+        assert conn.snd_wnd >= params.mss
+
+
+class TestChallengeAcks:
+    def test_blind_rst_is_challenged(self):
+        net, conn, server = make_conn_pair()
+        # RST with an in-window but non-exact sequence number
+        evil = Segment(src_port=server.local_port, dst_port=conn.local_port,
+                       seq=(conn.rcv_nxt + 5) % (1 << 32), flags=FLAG_RST)
+        conn.on_segment(evil, type("P", (), {"src": 1, "ecn": 0})())
+        assert conn.state is TcpState.ESTABLISHED
+        assert conn.trace.counters.get("tcp.challenge_acks") >= 1
+
+    def test_exact_rst_resets(self):
+        net, conn, server = make_conn_pair()
+        errors = []
+        conn.on_error = errors.append
+        rst = Segment(src_port=server.local_port, dst_port=conn.local_port,
+                      seq=conn.rcv_nxt, flags=FLAG_RST)
+        conn.on_segment(rst, type("P", (), {"src": 1, "ecn": 0})())
+        assert conn.state is TcpState.CLOSED
+        assert errors == ["connection reset by peer"]
+
+    def test_in_window_syn_is_challenged(self):
+        net, conn, server = make_conn_pair()
+        syn = Segment(src_port=server.local_port, dst_port=conn.local_port,
+                      seq=conn.rcv_nxt, flags=FLAG_SYN | FLAG_ACK,
+                      ack=conn.snd_nxt)
+        conn.on_segment(syn, type("P", (), {"src": 1, "ecn": 0})())
+        assert conn.state is TcpState.ESTABLISHED
+        assert conn.trace.counters.get("tcp.challenge_acks") >= 1
+
+
+class TestEcn:
+    def test_ecn_negotiated_and_responds_to_ce(self):
+        params = tcplp_params(ecn=True)
+        net, conn, server = make_conn_pair(params_a=params, params_b=params)
+        assert conn.ecn_enabled and server.ecn_enabled
+        # make every mesh link mark CE on data packets (fake congestion)
+        original = net.nodes[0].ipv6.route_out
+
+        def marking(packet):
+            from repro.net.ipv6 import ECN_CE, ECN_ECT0
+            if packet.ecn == ECN_ECT0:
+                packet.ecn = ECN_CE
+            original(packet)
+
+        net.nodes[0].ipv6.route_out = marking
+        got = []
+        server.on_data = got.append
+        payload = b"e" * 1500  # fits the 4-segment send buffer
+        accepted = conn.send(payload)
+        assert accepted == len(payload)
+        net.sim.run(until=30.0)
+        assert b"".join(got) == payload  # data still flows
+        assert conn.trace.counters.get("tcp.ecn_responses") >= 1
+
+    def test_no_ecn_without_negotiation(self):
+        net, conn, server = make_conn_pair()  # default: ecn off
+        assert not conn.ecn_enabled
+
+
+class TestSimplifiedStacks:
+    def test_uip_profile_matches_table1(self):
+        p = uip_params()
+        assert not p.use_timestamps and not p.use_sack
+        assert not p.ooo_reassembly and not p.delayed_ack
+        assert p.rtt_estimation
+        assert p.send_buffer == p.mss  # single segment in flight
+
+    def test_blip_has_fixed_rto(self):
+        p = blip_params()
+        assert not p.rtt_estimation
+        assert p.rto_min == p.rto_initial == 3.0
+
+    def test_gnrc_has_cc_and_reassembly(self):
+        p = gnrc_params()
+        assert p.congestion_control and p.ooo_reassembly
+        assert not p.use_sack and not p.use_timestamps
+
+    def test_feature_matrix_shape(self):
+        assert set(FEATURE_MATRIX) == {"uIP", "BLIP", "GNRC", "TCPlp"}
+        tcplp = FEATURE_MATRIX["TCPlp"]
+        assert all(tcplp[k] for k in tcplp)
+
+    def test_ooo_disabled_drops_out_of_order_data(self):
+        # uIP-like receiver: an out-of-order segment is dropped and
+        # later retransmitted in order
+        params_rx = uip_params(mss_frames=4)
+        net, conn, server = make_conn_pair(
+            params_a=tcplp_params(), params_b=params_rx
+        )
+        got = []
+        server.on_data = got.append
+        conn.send(b"ab" * 300)
+        net.sim.run(until=60.0)
+        assert b"".join(got) == b"ab" * 300
+
+
+class TestTimeWait:
+    def test_time_wait_expires_to_closed(self):
+        params = tcplp_params()
+        params.time_wait = 1.0
+        net, conn, server = make_conn_pair(params_a=params)
+        server.on_peer_close = server.close
+        conn.close()
+        net.sim.run(until=5.0)
+        assert conn.state in (TcpState.TIME_WAIT, TcpState.CLOSED)
+        net.sim.run(until=30.0)
+        assert conn.state is TcpState.CLOSED
+
+
+class TestStackBehaviour:
+    def test_listener_close_stops_accepting(self):
+        net = build_pair(seed=3)
+        sa = TcpStack(net.sim, net.nodes[0].ipv6, 0)
+        sb = TcpStack(net.sim, net.nodes[1].ipv6, 1)
+        listener = sb.listen(8000, lambda c: None)
+        listener.close()
+        errors = []
+        conn = sa.connect(1, 8000, params=tcplp_params())
+        conn.on_error = errors.append
+        net.sim.run(until=5.0)
+        assert errors == ["connection refused"]
+
+    def test_duplicate_listen_rejected(self):
+        net = build_pair(seed=4)
+        sb = TcpStack(net.sim, net.nodes[1].ipv6, 1)
+        sb.listen(8000, lambda c: None)
+        with pytest.raises(ValueError):
+            sb.listen(8000, lambda c: None)
+
+    def test_connections_cleaned_up_after_close(self):
+        net, conn, server = make_conn_pair()
+        stack_size_before = 1
+        conn.abort()
+        net.sim.run(until=5.0)
+        assert conn.state is TcpState.CLOSED
+        assert server.state is TcpState.CLOSED
+
+    def test_ephemeral_ports_unique(self):
+        net = build_pair(seed=5)
+        sa = TcpStack(net.sim, net.nodes[0].ipv6, 0)
+        sb = TcpStack(net.sim, net.nodes[1].ipv6, 1)
+        sb.listen(8000, lambda c: None)
+        c1 = sa.connect(1, 8000, params=tcplp_params())
+        c2 = sa.connect(1, 8000, params=tcplp_params())
+        assert c1.local_port != c2.local_port
+
+    def test_syn_retransmission_then_give_up(self):
+        net = build_pair(seed=6)
+        net.medium.block_link(0, 1)
+        sa = TcpStack(net.sim, net.nodes[0].ipv6, 0)
+        params = tcplp_params()
+        params.max_syn_retries = 2
+        errors = []
+        conn = sa.connect(1, 8000, params=params)
+        conn.on_error = errors.append
+        net.sim.run(until=60.0)
+        assert errors == ["connection timed out (SYN)"]
+        assert conn.trace.counters.get("tcp.syn_retransmits") == 2
