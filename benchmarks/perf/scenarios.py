@@ -1,0 +1,139 @@
+"""Canonical kernel-performance scenarios.
+
+Each scenario builds a fresh network, runs a fixed workload, and
+returns raw counters: simulator events processed, wall-clock seconds,
+and the headline behavioural metrics (goodput, frames delivered).  The
+behavioural metrics are the guard rail: a kernel change that shifts
+them has changed *what* is simulated, not just how fast.
+
+``tools/bench.py`` is the driver; it computes events/sec, picks the
+best of several trials, and compares against the checked-in baseline.
+The scenarios deliberately cover the distinct hot paths:
+
+* ``one_hop_bulk`` — TCP self-clocking on a clean link: scheduler and
+  TCP/6LoWPAN processing, almost no CSMA contention.
+* ``three_hop_hidden`` — the §7.1 hidden-terminal chain: collision
+  marking, link retries and carrier-sense dominate.  This is the
+  scenario the 2x kernel-speedup acceptance number is quoted on.
+* ``duty_cycled_polling`` — a sleepy endpoint polling its router:
+  periodic timers, indirect queues, radio state churn.
+* ``loss_sweep`` — Figure 9-style ambient loss on one hop: loss-model
+  RNG draws on every delivery plus TCP retransmission machinery.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+from repro.core.simplified import tcplp_params
+from repro.core.socket_api import TcpStack
+from repro.experiments.topology import build_chain, build_pair
+from repro.experiments.workload import BulkTransfer
+from repro.mac.poll import PollParams
+from repro.phy.medium import UniformLoss
+
+
+def _stack(net, node_id: int, **kwargs) -> TcpStack:
+    node = net.nodes[node_id]
+    return TcpStack(net.sim, node.ipv6, node_id, cpu=node.radio.cpu,
+                    sleepy=node.sleepy, **kwargs)
+
+
+def one_hop_bulk(duration: float = 60.0, seed: int = 1) -> Dict:
+    """Bulk TCP transfer between two embedded nodes, one clean hop."""
+    net = build_pair(seed=seed)
+    params = tcplp_params()
+    src, dst = _stack(net, 1), _stack(net, 0)
+    xfer = BulkTransfer(net.sim, src, dst, receiver_id=0, params=params,
+                        receiver_params=params)
+    t0 = time.perf_counter()
+    res = xfer.measure(10.0, duration)
+    wall = time.perf_counter() - t0
+    return {
+        "events": net.sim.events_processed,
+        "wall_s": wall,
+        "goodput_kbps": round(res.goodput_kbps, 2),
+        "frames_delivered": net.medium.frames_delivered,
+    }
+
+
+def three_hop_hidden(duration: float = 60.0, seed: int = 1) -> Dict:
+    """Bulk TCP over the 3-hop hidden-terminal chain (§7.1 setup)."""
+    net = build_chain(3, seed=seed)
+    for n in net.nodes.values():
+        n.mac.params.retry_delay = 0.04
+    params = tcplp_params(window_segments=4)
+    src, dst = _stack(net, 3), _stack(net, 0)
+    xfer = BulkTransfer(net.sim, src, dst, receiver_id=0, params=params,
+                        receiver_params=params)
+    t0 = time.perf_counter()
+    res = xfer.measure(10.0, duration)
+    wall = time.perf_counter() - t0
+    return {
+        "events": net.sim.events_processed,
+        "wall_s": wall,
+        "goodput_kbps": round(res.goodput_kbps, 2),
+        "frames_delivered": net.medium.frames_delivered,
+    }
+
+
+def duty_cycled_polling(duration: float = 60.0, seed: int = 0) -> Dict:
+    """Uplink bulk transfer from a duty-cycled (polling) endpoint."""
+    net = build_pair(seed=seed)
+    poll = PollParams(poll_interval=0.1, fast_poll_interval=0.1,
+                      listen_window=0.1,
+                      hold_uplink_while_listening=True)
+    net.nodes[1].make_sleepy(net.nodes[0], poll=poll)
+    params = tcplp_params(window_segments=4)
+    router = _stack(net, 0)
+    leaf = _stack(net, 1)
+    xfer = BulkTransfer(net.sim, leaf, router, receiver_id=0,
+                        params=params, receiver_params=params)
+    t0 = time.perf_counter()
+    res = xfer.measure(20.0, duration)
+    wall = time.perf_counter() - t0
+    return {
+        "events": net.sim.events_processed,
+        "wall_s": wall,
+        "goodput_kbps": round(res.goodput_kbps, 2),
+        "frames_delivered": net.medium.frames_delivered,
+    }
+
+
+def loss_sweep(duration: float = 40.0, seed: int = 1,
+               rates=(0.0, 0.09, 0.18)) -> Dict:
+    """Figure 9-style sweep: one-hop bulk under ambient frame loss."""
+    events = 0
+    delivered = 0
+    goodputs = []
+    wall = 0.0
+    for rate in rates:
+        net = build_pair(seed=seed)
+        if rate > 0:
+            net.medium.loss_models.append(UniformLoss(rate, net.rng))
+        params = tcplp_params()
+        src, dst = _stack(net, 1), _stack(net, 0)
+        xfer = BulkTransfer(net.sim, src, dst, receiver_id=0,
+                            params=params, receiver_params=params)
+        t0 = time.perf_counter()
+        res = xfer.measure(10.0, duration)
+        wall += time.perf_counter() - t0
+        events += net.sim.events_processed
+        delivered += net.medium.frames_delivered
+        goodputs.append(round(res.goodput_kbps, 2))
+    return {
+        "events": events,
+        "wall_s": wall,
+        "goodput_kbps": goodputs,
+        "frames_delivered": delivered,
+    }
+
+
+#: scenario name -> (callable, smoke-mode duration, full-mode duration)
+SCENARIOS = {
+    "one_hop_bulk": (one_hop_bulk, 20.0, 60.0),
+    "three_hop_hidden": (three_hop_hidden, 20.0, 60.0),
+    "duty_cycled_polling": (duty_cycled_polling, 30.0, 60.0),
+    "loss_sweep": (loss_sweep, 15.0, 40.0),
+}

@@ -92,8 +92,8 @@ class ReceiveBuffer:
 
     def out_of_order_bytes(self) -> int:
         """Bytes parked in the reassembly region (diagnostics)."""
-        total_present = sum(1 for b in self._present if b)
-        return total_present - self._unread
+        # the bitmap holds 0/1 bytes, so sum() counts set entries at C speed
+        return sum(self._present) - self._unread
 
     # ------------------------------------------------------------------
     # writing (from the network)
@@ -113,15 +113,32 @@ class ReceiveBuffer:
         if rel_offset >= limit:
             return 0
         data = data[: limit - rel_offset]
-        nxt = (self._read_pos + self._unread) % self.capacity
-        for i, byte in enumerate(data):
-            pos = (nxt + rel_offset + i) % self.capacity
-            self._buf[pos] = byte
-            self._present[pos] = 1
-        # absorb any now-contiguous prefix into the in-sequence region
-        advanced = 0
-        while advanced < limit and self._present[(nxt + advanced) % self.capacity]:
-            advanced += 1
+        cap = self.capacity
+        buf = self._buf
+        present = self._present
+        nxt = (self._read_pos + self._unread) % cap
+        # copy in at most two ring segments (slice ops, not a byte loop)
+        start = (nxt + rel_offset) % cap
+        n = len(data)
+        first = min(n, cap - start)
+        buf[start:start + first] = data[:first]
+        present[start:start + first] = b"\x01" * first
+        rest = n - first
+        if rest:
+            buf[:rest] = data[first:]
+            present[:rest] = b"\x01" * rest
+        # absorb any now-contiguous prefix into the in-sequence region:
+        # scan for the first gap across the (at most two) ring segments
+        head = min(limit, cap - nxt)
+        gap = present.find(0, nxt, nxt + head)
+        if gap >= 0:
+            advanced = gap - nxt
+        else:
+            advanced = head
+            tail = limit - head
+            if tail:
+                gap = present.find(0, 0, tail)
+                advanced += tail if gap < 0 else gap
         self._unread += advanced
         return advanced
 
@@ -131,14 +148,19 @@ class ReceiveBuffer:
     def read(self, max_bytes: Optional[int] = None) -> bytes:
         """Consume up to ``max_bytes`` in-sequence bytes (all if None)."""
         n = self._unread if max_bytes is None else min(max_bytes, self._unread)
-        out = bytearray(n)
-        for i in range(n):
-            pos = (self._read_pos + i) % self.capacity
-            out[i] = self._buf[pos]
-            self._present[pos] = 0
-        self._read_pos = (self._read_pos + n) % self.capacity
+        cap = self.capacity
+        rp = self._read_pos
+        first = min(n, cap - rp)
+        if first < n:  # wraps: two ring segments
+            out = bytes(self._buf[rp:rp + first]) + bytes(self._buf[:n - first])
+            self._present[rp:rp + first] = bytes(first)
+            self._present[:n - first] = bytes(n - first)
+        else:
+            out = bytes(self._buf[rp:rp + n])
+            self._present[rp:rp + n] = bytes(n)
+        self._read_pos = (rp + n) % cap
         self._unread -= n
-        return bytes(out)
+        return out
 
     # ------------------------------------------------------------------
     # SACK generation

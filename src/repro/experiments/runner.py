@@ -1,19 +1,28 @@
 """Batch experiment runner: regenerate the paper's results as JSON.
 
-``python -m repro.experiments.runner [--quick] [-o results.json]``
+``python -m repro.experiments.runner [--quick] [--jobs N] [-o results.json]``
 runs every experiment at benchmark (or abbreviated) durations and
 writes one JSON document with a section per table/figure.  The pytest
 benchmarks remain the canonical, asserted reproduction; this runner is
 for users who want the raw numbers (e.g. to plot).
+
+Experiments are independent simulations (each seeds its own RNG), so
+``--jobs N`` fans them out over a process pool; the output is identical
+to a serial run apart from the recorded wall times.  The document's
+``_meta`` section carries per-experiment wall time, the job count, and
+the list of failed experiments; the CLI exits non-zero if any
+experiment raised, whether it ran in-process or in a worker.
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
 import json
+import multiprocessing
 import sys
 import time
-from typing import Callable, Dict
+from typing import Callable, Dict, List, Tuple
 
 from repro.experiments.exp_ablations import run_ablation_table
 from repro.experiments.exp_app import (
@@ -125,20 +134,89 @@ def _strip_rtt_samples(rows):
     return out
 
 
-def run_all(quick: bool = True, only=None, progress=print) -> Dict:
+def _run_one(name: str, quick: bool) -> Tuple[str, object, float, bool]:
+    """Run one experiment; never raises.
+
+    Module-level (not a closure) so a multiprocessing pool can dispatch
+    it: the registry holds lambdas, which cannot be pickled, so each
+    worker rebuilds the registry from ``(name, quick)`` instead.
+    Returns ``(name, result-or-error-dict, wall_seconds, ok)`` — the
+    ``ok`` flag is the structural success signal, so callers never have
+    to sniff result dicts for an ``"error"`` key.
+    """
+    start = time.perf_counter()
+    try:
+        result = experiment_registry(quick)[name]()
+        ok = True
+    except Exception as exc:  # a broken experiment must not eat the rest
+        result = {"error": f"{type(exc).__name__}: {exc}"}
+        ok = False
+    return name, result, time.perf_counter() - start, ok
+
+
+def run_all_detailed(
+    quick: bool = True,
+    only=None,
+    progress=print,
+    jobs: int = 1,
+) -> Tuple[Dict, Dict]:
+    """Run the registry; returns ``(results, meta)``.
+
+    ``results`` is ``{experiment: result-or-error-dict}`` in registry
+    order regardless of worker completion order.  ``meta`` carries
+    ``wall_times_s``, ``errors`` (names of failed experiments, tracked
+    structurally from the worker's ok flag), ``jobs`` and
+    ``total_wall_s``.
+    """
+    registry_names = list(experiment_registry(quick))
+    if only:
+        unknown = sorted(set(only) - set(registry_names))
+        if unknown:
+            raise ValueError(
+                f"unknown experiment(s): {unknown}; "
+                f"choose from {registry_names}"
+            )
+    names: List[str] = [
+        name for name in registry_names if not only or name in only
+    ]
+    collected: Dict[str, object] = {}
+    wall_times: Dict[str, float] = {}
+    errors: List[str] = []
+    t0 = time.perf_counter()
+    if jobs > 1 and len(names) > 1:
+        worker = functools.partial(_run_one, quick=quick)
+        with multiprocessing.Pool(processes=min(jobs, len(names))) as pool:
+            for name, result, wall, ok in pool.imap_unordered(worker, names):
+                collected[name] = result
+                wall_times[name] = wall
+                if not ok:
+                    errors.append(name)
+                progress(f"[{name}] done in {wall:.1f}s")
+    else:
+        for name in names:
+            progress(f"[{name}] running ...")
+            _, result, wall, ok = _run_one(name, quick)
+            collected[name] = result
+            wall_times[name] = wall
+            if not ok:
+                errors.append(name)
+            progress(f"[{name}] done in {wall:.1f}s")
+    results = {name: collected[name] for name in names}
+    meta = {
+        "quick": quick,
+        "jobs": jobs,
+        "wall_times_s": {name: round(wall_times[name], 3) for name in names},
+        "total_wall_s": round(time.perf_counter() - t0, 3),
+        "errors": [name for name in names if name in errors],
+    }
+    return results, meta
+
+
+def run_all(quick: bool = True, only=None, progress=print,
+            jobs: int = 1) -> Dict:
     """Run the registry; returns {experiment: result-or-error}."""
-    registry = experiment_registry(quick)
-    results: Dict[str, object] = {}
-    for name, fn in registry.items():
-        if only and name not in only:
-            continue
-        start = time.time()
-        progress(f"[{name}] running ...")
-        try:
-            results[name] = fn()
-        except Exception as exc:  # a broken experiment must not eat the rest
-            results[name] = {"error": f"{type(exc).__name__}: {exc}"}
-        progress(f"[{name}] done in {time.time() - start:.1f}s")
+    results, _ = run_all_detailed(quick=quick, only=only,
+                                  progress=progress, jobs=jobs)
     return results
 
 
@@ -149,15 +227,26 @@ def main(argv=None) -> int:
     parser.add_argument("-o", "--output", default="results.json")
     parser.add_argument("--only", nargs="*", default=None,
                         help="subset of experiment names")
+    parser.add_argument("-j", "--jobs", type=int, default=1,
+                        help="worker processes (experiments are "
+                             "independent; results are identical to a "
+                             "serial run apart from wall times)")
     args = parser.parse_args(argv)
-    results = run_all(quick=args.quick, only=args.only)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    try:
+        results, meta = run_all_detailed(quick=args.quick, only=args.only,
+                                         jobs=args.jobs)
+    except ValueError as exc:  # e.g. a typo'd --only name
+        parser.error(str(exc))
+    document = dict(results)
+    document["_meta"] = meta
     with open(args.output, "w") as fh:
-        json.dump(results, fh, indent=2, default=str)
-    print(f"wrote {args.output} ({len(results)} experiments)")
-    errors = [k for k, v in results.items()
-              if isinstance(v, dict) and "error" in v]
-    if errors:
-        print(f"experiments with errors: {errors}", file=sys.stderr)
+        json.dump(document, fh, indent=2, default=str)
+    print(f"wrote {args.output} ({len(results)} experiments, "
+          f"{meta['total_wall_s']:.1f}s wall)")
+    if meta["errors"]:
+        print(f"experiments with errors: {meta['errors']}", file=sys.stderr)
         return 1
     return 0
 

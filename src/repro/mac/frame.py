@@ -56,15 +56,18 @@ class Frame:
     payload_bytes: int = 0
     #: filled by MAC for tracing: retries used to deliver this frame
     retries_used: int = field(default=0, compare=False)
+    #: MPDU size in bytes (drives air time); computed once at creation —
+    #: kind and payload size are fixed, and the MAC/PHY consult this for
+    #: every load, CCA and delivery
+    byte_size: int = field(init=False, repr=False, compare=False)
 
-    @property
-    def byte_size(self) -> int:
-        """MPDU size in bytes (drives air time)."""
+    def __post_init__(self) -> None:
         if self.kind is FrameKind.ACK:
-            return ACK_FRAME_BYTES
-        if self.kind is FrameKind.DATA_REQUEST:
-            return DATA_HEADER_BYTES + COMMAND_ID_BYTES
-        return DATA_HEADER_BYTES + self.payload_bytes
+            self.byte_size = ACK_FRAME_BYTES
+        elif self.kind is FrameKind.DATA_REQUEST:
+            self.byte_size = DATA_HEADER_BYTES + COMMAND_ID_BYTES
+        else:
+            self.byte_size = DATA_HEADER_BYTES + self.payload_bytes
 
     @property
     def is_broadcast(self) -> bool:

@@ -84,6 +84,16 @@ class MacLayer:
         self.trace = trace or TraceRecorder()
         self.node_id = radio.node_id
         radio.on_frame = self._on_frame
+        # Stream objects resolved once: the per-draw f-string key build
+        # and dict lookup are measurable at CSMA rates.  Stream seeds
+        # derive from the name alone, so this draws identical sequences.
+        self._csma_rng = rng.stream(f"csma:{self.node_id}")
+        self._retry_rng = rng.stream(f"retry:{self.node_id}")
+        # Direct handles for per-frame accounting: Counter.incr and
+        # CpuMeter.charge are semantically trivial but their call
+        # overhead is measurable at frame dispatch rates.
+        self._counts = self.trace.counters._counts
+        self._cpu = radio.cpu
 
         self._queue: Deque[_TxOp] = deque()
         self._current: Optional[_TxOp] = None
@@ -199,7 +209,7 @@ class MacLayer:
         # SPI-load the frame buffer first (the §6.4 overhead), *then*
         # run CSMA so clear-channel assessment is fresh at air time.
         # Retries reuse the loaded buffer.
-        self.radio.load(op.frame.byte_size, lambda: self._loaded(op))
+        self.radio.load(op.frame.byte_size, self._loaded, op)
 
     def _loaded(self, op: _TxOp) -> None:
         if op is not self._current:
@@ -212,7 +222,7 @@ class MacLayer:
         self._backoff(op)
 
     def _backoff(self, op: _TxOp) -> None:
-        slots = self.rng.randint(f"csma:{self.node_id}", 0, (1 << op.be) - 1)
+        slots = self._csma_rng.randint(0, (1 << op.be) - 1)
         delay = slots * self.radio.params.unit_backoff
         if self.radio.deaf_csma:
             self.radio.go_deaf()
@@ -223,21 +233,20 @@ class MacLayer:
     def _cca(self, op: _TxOp) -> None:
         if op is not self._current:
             return  # op was aborted
-        if self.radio._tx_busy or not self.radio.channel_clear():
+        radio = self.radio
+        if radio._tx_busy or not radio.channel_clear():
             op.nb += 1
             op.be = min(op.be + 1, self.params.max_be)
             if op.nb > self.params.max_csma_backoffs:
-                self.trace.counters.incr("mac.csma_failures")
+                self._counts["mac.csma_failures"] += 1
                 self._retry(op)
             else:
                 self._backoff(op)
             return
-        self.radio.listen()  # leave deaf state before TX
-        self.radio.cpu.charge(self.params.per_frame_cpu)
-        self.radio.transmit_loaded(
-            op.frame, op.frame.byte_size, lambda: self._tx_done(op)
-        )
-        self.trace.counters.incr("mac.frames_tx")
+        radio.listen()  # leave deaf state before TX
+        self._cpu._busy += self.params.per_frame_cpu
+        radio.transmit_loaded(op.frame, op.frame.byte_size, self._tx_done, op)
+        self._counts["mac.frames_tx"] += 1
 
     def _tx_done(self, op: _TxOp) -> None:
         if op is not self._current:
@@ -253,7 +262,7 @@ class MacLayer:
         if op is not self._current:
             return
         self._ack_timer_event = None
-        self.trace.counters.incr("mac.ack_timeouts")
+        self._counts["mac.ack_timeouts"] += 1
         self._retry(op)
 
     def _retry(self, op: _TxOp) -> None:
@@ -264,10 +273,10 @@ class MacLayer:
             else self.params.max_retries
         )
         if op.retries > limit:
-            self.trace.counters.incr("mac.tx_failures")
+            self._counts["mac.tx_failures"] += 1
             self._finish(op, False)
             return
-        self.trace.counters.incr("mac.link_retries")
+        self._counts["mac.link_retries"] += 1
         # The paper's fix for hidden terminals (§7.1): wait a random
         # duration in [0, d] before re-running CSMA for the retry.
         # Indirect frames retry quickly instead (§9.5 improvement 3) —
@@ -275,7 +284,7 @@ class MacLayer:
         d = self.params.retry_delay
         if op.indirect_child is not None:
             d = min(d, 0.005)
-        delay = self.rng.uniform(f"retry:{self.node_id}", 0.0, d) if d > 0 else 0.0
+        delay = self._retry_rng.uniform(0.0, d) if d > 0 else 0.0
         self.sim.schedule(delay, self._retry_fire, op)
 
     def _retry_fire(self, op: _TxOp) -> None:
@@ -288,7 +297,7 @@ class MacLayer:
         self._current = None
         self._ack_timer_event = None
         if success:
-            self.trace.counters.incr("mac.tx_success")
+            self._counts["mac.tx_success"] += 1
         if op.on_done is not None:
             op.on_done(success)
         if self._queue:
@@ -300,11 +309,11 @@ class MacLayer:
     # receive path
     # ------------------------------------------------------------------
     def _on_frame(self, frame: Frame, sender_id: int) -> None:
-        self.radio.cpu.charge(self.params.per_frame_cpu)
+        self._cpu._busy += self.params.per_frame_cpu
         if frame.kind is FrameKind.ACK:
             self._handle_ack(frame)
             return
-        if frame.dst != self.node_id and not frame.is_broadcast:
+        if frame.dst != self.node_id and frame.dst != BROADCAST:
             return  # not for us (promiscuous reception not modelled)
         if frame.ack_request:
             self._send_ack(frame)
@@ -314,7 +323,7 @@ class MacLayer:
         # duplicate suppression: the sender repeats a frame whose ACK we
         # lost; accept each (src, seq) once.
         if self._dedup.get(frame.src) == frame.seq:
-            self.trace.counters.incr("mac.duplicates")
+            self._counts["mac.duplicates"] += 1
             return
         self._dedup[frame.src] = frame.seq
         if self.on_data_pending is not None:

@@ -24,7 +24,7 @@ from typing import Optional
 
 from repro.mac.link import MacLayer
 from repro.sim.engine import Simulator
-from repro.sim.timers import Timer
+from repro.sim.timers import PeriodicTimer, Timer
 
 
 @dataclass
@@ -59,7 +59,10 @@ class SleepyEndDevice:
         self.mac = mac
         self.parent = parent
         self.params = params or PollParams()
-        self._poll_timer = Timer(sim, self._poll, "poll")
+        # Polling repeats at a (mostly) fixed cadence, so it rides on the
+        # scheduler's allocation-free periodic events; interval changes
+        # (fast-poll, adaptive growth) restart the cadence from now.
+        self._poll_timer = PeriodicTimer(sim, self._poll, "poll")
         self._window_timer = Timer(sim, self._window_closed, "listen-window")
         self._fast_poll = False
         self._awaiting_poll_ack = False
@@ -115,7 +118,9 @@ class SleepyEndDevice:
         # If the data request dies (no link ACK after retries), the MAC
         # goes idle without calling on_poll_ack; guard with a timeout.
         self._window_timer.start(self.params.listen_window * 4)
-        self._poll_timer.start(self._current_interval())
+        # the periodic event re-arms itself at exactly now + interval;
+        # only restart if the effective interval has changed under us
+        self._poll_timer.ensure(self._current_interval())
 
     def _on_poll_ack(self, pending: bool) -> None:
         self._awaiting_poll_ack = False

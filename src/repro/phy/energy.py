@@ -44,30 +44,35 @@ class RadioState(enum.Enum):
         return self is RadioState.LISTEN
 
 
+# Positional index per member, so the ledger can account into a plain
+# list — a dict keyed by enum members pays a Python-level __hash__ call
+# on every transition, which shows up at simulation dispatch rates.
+for _index, _state in enumerate(RadioState):
+    _state.index = _index
+del _index, _state
+
+
 class EnergyLedger:
     """Accumulates time spent in each radio state."""
 
     def __init__(self, sim: Simulator):
         self.sim = sim
-        self._state = RadioState.LISTEN
+        #: current radio state; read-only for callers (use transition())
+        self.state = RadioState.LISTEN
         self._since = sim.now
-        self._totals: Dict[RadioState, float] = {s: 0.0 for s in RadioState}
+        self._totals = [0.0] * len(RadioState)
         self._start_time = sim.now
-
-    @property
-    def state(self) -> RadioState:
-        return self._state
 
     def transition(self, new_state: RadioState) -> None:
         """Charge time in the current state and switch to ``new_state``."""
         now = self.sim.now
-        self._totals[self._state] += now - self._since
-        self._state = new_state
+        self._totals[self.state.index] += now - self._since
+        self.state = new_state
         self._since = now
 
     def _settled(self) -> Dict[RadioState, float]:
-        totals = dict(self._totals)
-        totals[self._state] += self.sim.now - self._since
+        totals = {s: self._totals[s.index] for s in RadioState}
+        totals[self.state] += self.sim.now - self._since
         return totals
 
     def time_in(self, state: RadioState) -> float:
@@ -89,7 +94,7 @@ class EnergyLedger:
 
     def reset(self) -> None:
         """Zero the ledger (used to exclude warm-up from measurements)."""
-        self._totals = {s: 0.0 for s in RadioState}
+        self._totals = [0.0] * len(RadioState)
         self._since = self.sim.now
         self._start_time = self.sim.now
 

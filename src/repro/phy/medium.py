@@ -13,6 +13,15 @@ overrides for forcing a topology).  A frame is received cleanly only if
 Carrier sense answers "is any transmitter audible to this node right
 now", so two senders that cannot hear each other will happily collide
 at a middle node: the hidden-terminal problem studied in §7.
+
+Hot-path design: connectivity is queried on every carrier-sense,
+collision-mark, and delivery pass, but the topology only changes on
+``register``/``force_link``/``block_link``.  The medium therefore keeps
+a cached adjacency structure (``neighbor_sets``) built once per
+topology change, so the per-event cost is a set lookup instead of a
+``math.hypot`` over all N radios.  Construct with ``use_cache=False``
+to force the original geometric path (the determinism regression test
+asserts both paths produce byte-identical event traces).
 """
 
 from __future__ import annotations
@@ -20,9 +29,12 @@ from __future__ import annotations
 import math
 from typing import Callable, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 
+from repro.phy.energy import RadioState
 from repro.phy.params import PhyParams
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
+
+_LISTEN = RadioState.LISTEN
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.phy.radio import Radio
@@ -58,6 +70,41 @@ class UniformLoss:
         return self.rng.random(self.stream) < self.rate
 
 
+class _LinkSet(set):
+    """A set of (a, b) link overrides that invalidates the owning
+    medium's adjacency cache on any mutation.
+
+    Chaos/fault-injection code mutates ``_forced_links`` /
+    ``_blocked_links`` directly (e.g. scheduling ``_blocked_links.clear``
+    to heal a partition), so invalidation must live on the set itself
+    rather than only in ``force_link``/``block_link``.
+    """
+
+    def __init__(self, medium: "Medium"):
+        super().__init__()
+        self._medium = medium
+
+    def add(self, item) -> None:
+        super().add(item)
+        self._medium._invalidate_cache()
+
+    def discard(self, item) -> None:
+        super().discard(item)
+        self._medium._invalidate_cache()
+
+    def remove(self, item) -> None:
+        super().remove(item)
+        self._medium._invalidate_cache()
+
+    def clear(self) -> None:
+        super().clear()
+        self._medium._invalidate_cache()
+
+    def update(self, *others) -> None:
+        super().update(*others)
+        self._medium._invalidate_cache()
+
+
 class Transmission:
     """One frame in flight on the channel."""
 
@@ -81,11 +128,13 @@ class Medium:
         params: Optional[PhyParams] = None,
         rng: Optional[RngStreams] = None,
         comm_range: float = 10.0,
+        use_cache: bool = True,
     ):
         self.sim = sim
         self.params = params or PhyParams()
         self.rng = rng or RngStreams(0)
         self.comm_range = comm_range
+        self.use_cache = use_cache
         self.radios: Dict[int, "Radio"] = {}
         self.positions: Dict[int, Tuple[float, float]] = {}
         self._active: List[Transmission] = []
@@ -93,8 +142,17 @@ class Medium:
         #: (frame, sender, receiver) -> True to drop; for targeted
         #: fault-injection in tests (e.g. kill one datagram's fragments)
         self.frame_filters: List[Callable[[object, int, int], bool]] = []
-        self._forced_links: Set[Tuple[int, int]] = set()
-        self._blocked_links: Set[Tuple[int, int]] = set()
+        self._forced_links: Set[Tuple[int, int]] = _LinkSet(self)
+        self._blocked_links: Set[Tuple[int, int]] = _LinkSet(self)
+        #: node -> set of nodes that hear it; None until (re)built
+        self._neighbor_sets: Optional[Dict[int, Set[int]]] = None
+        #: same adjacency, but as lists in radio-registration order so
+        #: delivery iterates receivers in exactly the uncached order
+        self._neighbor_lists: Optional[Dict[int, List[int]]] = None
+        #: sender -> [(rcv_id, radio), ...] in registration order; lets
+        #: the delivery pass iterate without rebuilding pairs per frame
+        self._neighbor_radios: Optional[Dict[int, List[Tuple[int, "Radio"]]]] = None
+        self.cache_rebuilds = 0
         self.frames_delivered = 0
         self.frames_collided = 0
         self.frames_lost = 0
@@ -108,24 +166,34 @@ class Medium:
             raise ValueError(f"node {radio.node_id} already registered")
         self.radios[radio.node_id] = radio
         self.positions[radio.node_id] = position
+        self._invalidate_cache()
 
     def force_link(self, a: int, b: int) -> None:
         """Make a<->b connected regardless of distance."""
         self._forced_links.add((a, b))
         self._forced_links.add((b, a))
+        self._invalidate_cache()
 
     def block_link(self, a: int, b: int) -> None:
         """Make a<->b disconnected regardless of distance."""
         self._blocked_links.add((a, b))
         self._blocked_links.add((b, a))
+        self._invalidate_cache()
 
     def distance(self, a: int, b: int) -> float:
         """Euclidean distance between two registered nodes."""
         (xa, ya), (xb, yb) = self.positions[a], self.positions[b]
         return math.hypot(xa - xb, ya - yb)
 
-    def in_range(self, a: int, b: int) -> bool:
-        """True if node b can hear node a's transmissions."""
+    # ------------------------------------------------------------------
+    # adjacency cache
+    # ------------------------------------------------------------------
+    def _invalidate_cache(self) -> None:
+        self._neighbor_sets = None
+        self._neighbor_lists = None
+        self._neighbor_radios = None
+
+    def _in_range_uncached(self, a: int, b: int) -> bool:
         if a == b:
             return False
         if (a, b) in self._blocked_links:
@@ -134,34 +202,122 @@ class Medium:
             return True
         return self.distance(a, b) <= self.comm_range
 
+    def _build_cache(self) -> Dict[int, Set[int]]:
+        """(Re)build the adjacency cache from the current topology."""
+        ids = list(self.radios)
+        # forced links may reference ids with no registered radio; they
+        # still answer in_range() truthfully, so include them as sources
+        sources = list(ids)
+        known = set(ids)
+        for a, b in self._forced_links:
+            if a not in known:
+                known.add(a)
+                sources.append(a)
+            if b not in known:
+                known.add(b)
+                sources.append(b)
+        sets: Dict[int, Set[int]] = {}
+        for a in sources:
+            hears_a: Set[int] = set()
+            for b in known:
+                if a != b and self._in_range_uncached(a, b):
+                    hears_a.add(b)
+            sets[a] = hears_a
+        # registration-ordered receiver lists (registered radios only)
+        self._neighbor_lists = {
+            a: [b for b in ids if b in sets[a]] for a in sources
+        }
+        radios = self.radios
+        self._neighbor_radios = {
+            a: [(b, radios[b]) for b in hearers]
+            for a, hearers in self._neighbor_lists.items()
+        }
+        self._neighbor_sets = sets
+        self.cache_rebuilds += 1
+        return sets
+
+    @property
+    def neighbor_sets(self) -> Dict[int, Set[int]]:
+        """node -> set of node ids that hear it (cached adjacency)."""
+        sets = self._neighbor_sets
+        if sets is None:
+            sets = self._build_cache()
+        return sets
+
+    def in_range(self, a: int, b: int) -> bool:
+        """True if node b can hear node a's transmissions."""
+        if self.use_cache:
+            sets = self._neighbor_sets
+            if sets is None:
+                sets = self._build_cache()
+            hears_a = sets.get(a)
+            if hears_a is not None:
+                return b in hears_a
+            # a is unknown to the cache (never registered, never forced)
+        return self._in_range_uncached(a, b)
+
     def neighbors(self, node_id: int) -> List[int]:
         """Nodes that can hear ``node_id``."""
-        return [n for n in self.radios if self.in_range(node_id, n)]
+        if self.use_cache:
+            if self._neighbor_lists is None:
+                self._build_cache()
+            assert self._neighbor_lists is not None
+            hearers = self._neighbor_lists.get(node_id)
+            if hearers is not None:
+                return list(hearers)
+        return [n for n in self.radios if self._in_range_uncached(node_id, n)]
 
     # ------------------------------------------------------------------
     # channel activity
     # ------------------------------------------------------------------
     def carrier_busy(self, node_id: int) -> bool:
         """True if any ongoing transmission is audible at ``node_id``."""
+        active = self._active
+        if not active:
+            return False
+        if self.use_cache:
+            sets = self._neighbor_sets
+            if sets is None:
+                sets = self._build_cache()
+            for tx in active:
+                if node_id in sets[tx.sender.node_id]:
+                    return True
+            return False
         return any(
-            self.in_range(tx.sender.node_id, node_id) for tx in self._active
+            self._in_range_uncached(tx.sender.node_id, node_id) for tx in active
         )
 
     def begin_transmission(self, sender: "Radio", frame: object, air_time: float) -> Transmission:
         """Put a frame on the air; schedules its own completion."""
         now = self.sim.now
         tx = Transmission(sender, frame, now, now + air_time)
+        sender_id = sender.node_id
         # Collision marking: any receiver that can hear both this frame and
         # an already-ongoing one gets a corrupted copy of each.
-        for other in self._active:
-            for rcv_id in self.radios:
-                if rcv_id == sender.node_id or rcv_id == other.sender.node_id:
-                    continue
-                if self.in_range(sender.node_id, rcv_id) and self.in_range(
-                    other.sender.node_id, rcv_id
-                ):
-                    tx.spoiled.add(rcv_id)
-                    other.spoiled.add(rcv_id)
+        if self.use_cache:
+            if self._active:
+                sets = self._neighbor_sets
+                if sets is None:
+                    sets = self._build_cache()
+                hears_sender = sets[sender_id]
+                for other in self._active:
+                    other_id = other.sender.node_id
+                    both = hears_sender & sets[other_id]
+                    both.discard(sender_id)
+                    both.discard(other_id)
+                    if both:
+                        tx.spoiled |= both
+                        other.spoiled |= both
+        else:
+            for other in self._active:
+                for rcv_id in self.radios:
+                    if rcv_id == sender_id or rcv_id == other.sender.node_id:
+                        continue
+                    if self._in_range_uncached(
+                        sender_id, rcv_id
+                    ) and self._in_range_uncached(other.sender.node_id, rcv_id):
+                        tx.spoiled.add(rcv_id)
+                        other.spoiled.add(rcv_id)
         self._active.append(tx)
         self.sim.schedule(air_time, self._end_transmission, tx)
         return tx
@@ -169,19 +325,40 @@ class Medium:
     def _end_transmission(self, tx: Transmission) -> None:
         self._active.remove(tx)
         sender_id = tx.sender.node_id
-        for rcv_id, radio in self.radios.items():
-            if rcv_id == sender_id or not self.in_range(sender_id, rcv_id):
-                continue
-            if rcv_id in tx.spoiled:
+        if self.use_cache:
+            if self._neighbor_radios is None:
+                self._build_cache()
+            assert self._neighbor_radios is not None
+            receivers = self._neighbor_radios.get(sender_id, ())
+        else:
+            receivers = [
+                (rcv_id, radio)
+                for rcv_id, radio in self.radios.items()
+                if rcv_id != sender_id
+                and self._in_range_uncached(sender_id, rcv_id)
+            ]
+        spoiled = tx.spoiled
+        loss_models = self.loss_models
+        frame_filters = self.frame_filters
+        now = self.sim.now
+        start = tx.start
+        for rcv_id, radio in receivers:
+            if rcv_id in spoiled:
                 self.frames_collided += 1
                 continue
-            if not radio.listened_throughout(tx.start):
+            # Inlined Radio.listened_throughout (hot: once per potential
+            # receiver per frame): continuously in LISTEN since tx start?
+            if radio.energy.state is not _LISTEN or radio._listen_since > start:
                 # Asleep, deaf (hardware-CSMA backoff), or transmitting.
                 continue
-            if any(loss(sender_id, rcv_id, self.sim.now) for loss in self.loss_models):
+            if loss_models and any(
+                loss(sender_id, rcv_id, now) for loss in loss_models
+            ):
                 self.frames_lost += 1
                 continue
-            if any(f(tx.frame, sender_id, rcv_id) for f in self.frame_filters):
+            if frame_filters and any(
+                f(tx.frame, sender_id, rcv_id) for f in frame_filters
+            ):
                 self.frames_lost += 1
                 continue
             self.frames_delivered += 1

@@ -19,6 +19,9 @@ from repro.phy.medium import Medium
 from repro.phy.params import PhyParams
 from repro.sim.engine import Simulator
 
+_LISTEN = RadioState.LISTEN
+_TX = RadioState.TX
+
 
 class Radio:
     """Half-duplex 802.15.4 radio bound to one node."""
@@ -39,6 +42,13 @@ class Radio:
         self.deaf_csma = deaf_csma
         self.energy = EnergyLedger(sim)
         self.cpu = CpuMeter(sim)
+        # Timing constants folded once at construction: air/SPI time is
+        # computed for every load, transmit and delivery, and the PHY
+        # constants never change after a radio is built.
+        p = self.params
+        self._air_per_byte = 8.0 / p.bit_rate
+        self._air_base = p.phy_preamble_bytes * self._air_per_byte
+        self._spi_factor = p.spi_overhead_factor - 1.0
         #: set by the MAC layer: called with (frame, sender_id) on clean receive
         self.on_frame: Optional[Callable[[object, int], None]] = None
         self._listen_since: float = sim.now
@@ -57,7 +67,7 @@ class Radio:
 
     def listen(self) -> None:
         """Enter RX mode; the radio can now hear frames."""
-        if self.state is not RadioState.LISTEN:
+        if self.energy.state is not RadioState.LISTEN:
             self.energy.transition(RadioState.LISTEN)
             self._listen_since = self.sim.now
 
@@ -75,7 +85,7 @@ class Radio:
 
     def listened_throughout(self, since: float) -> bool:
         """True if the radio has been continuously in LISTEN since ``since``."""
-        return self.state is RadioState.LISTEN and self._listen_since <= since
+        return self.energy.state is RadioState.LISTEN and self._listen_since <= since
 
     # ------------------------------------------------------------------
     # channel assessment
@@ -87,55 +97,59 @@ class Radio:
     # ------------------------------------------------------------------
     # transmit path
     # ------------------------------------------------------------------
-    def load(self, frame_bytes: int, on_done: Callable[[], None]) -> None:
+    def load(self, frame_bytes: int, on_done: Callable[..., None], *args: object) -> None:
         """Upload a frame to the radio's buffer over SPI.
 
         This happens *before* CSMA (real radios transmit from the frame
         buffer), takes the §6.4-measured SPI time, keeps the radio able
         to listen, and is charged to the CPU meter.  Retries reuse the
         loaded buffer without paying this again.
+
+        ``on_done(*args)`` fires when the load completes; passing args
+        through lets the MAC avoid a per-frame closure allocation.
         """
         if self._load_busy:
             raise RuntimeError(f"node {self.node_id}: SPI load while loading")
         self._validate_size(frame_bytes)
         self._load_busy = True
-        spi = self.params.spi_time(frame_bytes)
-        self.cpu.charge(spi)
+        spi = (self._air_base + frame_bytes * self._air_per_byte) * self._spi_factor
+        self.cpu._busy += spi
+        self.sim.schedule(spi, self._finish_load, on_done, args)
 
-        def finish() -> None:
-            self._load_busy = False
-            on_done()
-
-        self.sim.schedule(spi, finish)
+    def _finish_load(self, on_done: Callable[..., None], args: tuple = ()) -> None:
+        self._load_busy = False
+        on_done(*args)
 
     def transmit(
         self,
         frame: object,
         frame_bytes: int,
-        on_done: Callable[[], None],
+        on_done: Callable[..., None],
+        *args: object,
         skip_spi: bool = False,
     ) -> None:
         """Send a frame: SPI load (unless ``skip_spi``) then air phase.
 
         ``skip_spi`` is used for link-layer ACKs (hardware-generated,
         no frame upload) and for frames already uploaded via ``load``.
+        ``on_done(*args)`` fires when the frame leaves the air.
         """
         if self._tx_busy:
             raise RuntimeError(f"node {self.node_id}: transmit while busy")
         self._validate_size(frame_bytes)
         self._tx_busy = True
         if skip_spi:
-            self._start_air(frame, frame_bytes, on_done)
+            self._start_air(frame, frame_bytes, on_done, args)
         else:
-            spi = self.params.spi_time(frame_bytes)
-            self.cpu.charge(spi)
-            self.sim.schedule(spi, self._start_air, frame, frame_bytes, on_done)
+            spi = (self._air_base + frame_bytes * self._air_per_byte) * self._spi_factor
+            self.cpu._busy += spi
+            self.sim.schedule(spi, self._start_air, frame, frame_bytes, on_done, args)
 
     def transmit_loaded(
-        self, frame: object, frame_bytes: int, on_done: Callable[[], None]
+        self, frame: object, frame_bytes: int, on_done: Callable[..., None], *args: object
     ) -> None:
         """Put the previously-loaded frame on the air (post-CSMA)."""
-        self.transmit(frame, frame_bytes, on_done, skip_spi=True)
+        self.transmit(frame, frame_bytes, on_done, *args, skip_spi=True)
 
     def _validate_size(self, frame_bytes: int) -> None:
         if frame_bytes > self.params.max_frame_bytes:
@@ -144,19 +158,31 @@ class Radio:
                 f"{self.params.max_frame_bytes} B"
             )
 
-    def _start_air(self, frame: object, frame_bytes: int, on_done: Callable[[], None]) -> None:
-        self.energy.transition(RadioState.TX)
-        air = self.params.air_time(frame_bytes)
+    def _start_air(self, frame: object, frame_bytes: int,
+                   on_done: Callable[..., None], args: tuple = ()) -> None:
+        # Inlined EnergyLedger.transition(TX) — two transitions per frame
+        # on the air makes the call overhead itself measurable.
+        energy = self.energy
+        now = self.sim.now
+        energy._totals[energy.state.index] += now - energy._since
+        energy.state = _TX
+        energy._since = now
+        air = self._air_base + frame_bytes * self._air_per_byte
         self.medium.begin_transmission(self, frame, air)
-        self.sim.schedule(air, self._end_air, on_done)
+        self.sim.schedule(air, self._end_air, on_done, args)
 
-    def _end_air(self, on_done: Callable[[], None]) -> None:
+    def _end_air(self, on_done: Callable[..., None], args: tuple = ()) -> None:
         self._tx_busy = False
         self.frames_sent += 1
-        # Return to listening; the MAC may immediately put us to sleep.
-        self.energy.transition(RadioState.LISTEN)
-        self._listen_since = self.sim.now
-        on_done()
+        # Return to listening (inlined transition, see _start_air); the
+        # MAC may immediately put us to sleep.
+        energy = self.energy
+        now = self.sim.now
+        energy._totals[energy.state.index] += now - energy._since
+        energy.state = _LISTEN
+        energy._since = now
+        self._listen_since = now
+        on_done(*args)
 
     # ------------------------------------------------------------------
     # receive path (called by the medium)
@@ -164,6 +190,7 @@ class Radio:
     def deliver(self, frame: object, sender_id: int) -> None:
         """A clean frame arrived; charge the SPI read-out and pass it up."""
         self.frames_received += 1
-        self.cpu.charge(self.params.spi_time(getattr(frame, "byte_size", 32)))
+        size = getattr(frame, "byte_size", 32)
+        self.cpu._busy += (self._air_base + size * self._air_per_byte) * self._spi_factor
         if self.on_frame is not None:
             self.on_frame(frame, sender_id)

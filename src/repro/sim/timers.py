@@ -70,3 +70,55 @@ class Timer:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = f"armed@{self.expiry:.6f}" if self.armed else "idle"
         return f"<Timer {self.name or self.callback!r} {state}>"
+
+
+class PeriodicTimer:
+    """A repeating timer built on ``Simulator.schedule_periodic``.
+
+    Unlike re-arming a :class:`Timer` from its own callback, the
+    underlying Event object is reused tick after tick — no allocation
+    per period.  ``start`` (re)starts the cadence from now; ``ensure``
+    is a cheap no-op when the requested interval is already in force
+    (the common case for a fixed-cadence poll loop).
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[[], Any], name: str = ""):
+        self.sim = sim
+        self.callback = callback
+        self.name = name
+        self._event: Optional[Event] = None
+        self._interval: Optional[float] = None
+
+    @property
+    def armed(self) -> bool:
+        """True while the timer is ticking."""
+        return self._event is not None and not self._event.cancelled
+
+    @property
+    def interval(self) -> Optional[float]:
+        """The period currently in force, or None when stopped."""
+        return self._interval if self.armed else None
+
+    def start(self, interval: float) -> None:
+        """(Re)start firing every ``interval`` seconds, first in ``interval``."""
+        self.stop()
+        self._event = self.sim.schedule_periodic(interval, self.callback)
+        self._interval = interval
+
+    def ensure(self, interval: float) -> None:
+        """Keep the cadence if unchanged; otherwise restart at ``interval``."""
+        if not self.armed or self._interval != interval:
+            self.start(interval)
+
+    def stop(self) -> None:
+        """Stop the repetition."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+            self._interval = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            f"every {self._interval:.6f}" if self.armed else "idle"
+        )
+        return f"<PeriodicTimer {self.name or self.callback!r} {state}>"

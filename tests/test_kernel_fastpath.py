@@ -1,0 +1,187 @@
+"""Simulation-kernel fast-path regressions.
+
+The kernel optimisations (cached adjacency in the medium, tombstone
+compaction and periodic re-arming in the scheduler) must be invisible
+to the simulation: same seed, byte-identical event trace.  These tests
+pin that contract down, plus the cache-invalidation and compaction
+behaviour itself.
+"""
+
+import pytest
+
+from repro.core.simplified import tcplp_params
+from repro.core.socket_api import TcpStack
+from repro.experiments.topology import build_chain
+from repro.experiments.workload import BulkTransfer
+from repro.mac.frame import Frame, FrameKind
+from repro.phy.medium import Medium
+from repro.phy.radio import Radio
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.rng import RngStreams
+from repro.sim.timers import PeriodicTimer
+
+
+# ----------------------------------------------------------------------
+# determinism: the optimised kernel replays the exact same event trace
+# ----------------------------------------------------------------------
+def _traced_chain_run(use_cache: bool):
+    """Run a short 3-hop TCP transfer, recording every dispatched event."""
+    net = build_chain(3, seed=1)
+    net.medium.use_cache = use_cache
+    for n in net.nodes.values():
+        n.mac.params.retry_delay = 0.04
+    params = tcplp_params(window_segments=4)
+
+    def stack(nid):
+        node = net.nodes[nid]
+        return TcpStack(net.sim, node.ipv6, nid, cpu=node.radio.cpu,
+                        sleepy=node.sleepy)
+
+    trace = []
+    net.sim.on_event = lambda ev: trace.append(
+        (ev.time, ev.seq, getattr(ev.fn, "__qualname__", repr(ev.fn)))
+    )
+    src, dst = stack(3), stack(0)
+    xfer = BulkTransfer(net.sim, src, dst, receiver_id=0, params=params,
+                        receiver_params=params)
+    res = xfer.measure(5.0, 10.0)
+    return trace, res.goodput_kbps, net.medium.frames_delivered
+
+
+def test_same_seed_reproduces_identical_event_trace():
+    trace_a, goodput_a, delivered_a = _traced_chain_run(use_cache=True)
+    trace_b, goodput_b, delivered_b = _traced_chain_run(use_cache=True)
+    assert len(trace_a) > 5000  # the run actually exercised the stack
+    assert trace_a == trace_b
+    assert (goodput_a, delivered_a) == (goodput_b, delivered_b)
+
+
+def test_adjacency_cache_does_not_change_the_simulation():
+    """Cached and geometric connectivity paths must be byte-identical:
+    same event times, same dispatch order, same RNG draw order."""
+    cached, goodput_c, delivered_c = _traced_chain_run(use_cache=True)
+    uncached, goodput_u, delivered_u = _traced_chain_run(use_cache=False)
+    assert cached == uncached
+    assert (goodput_c, delivered_c) == (goodput_u, delivered_u)
+
+
+# ----------------------------------------------------------------------
+# adjacency cache invalidation
+# ----------------------------------------------------------------------
+def _cache_net():
+    sim = Simulator()
+    medium = Medium(sim, rng=RngStreams(1), comm_range=6.0)
+    radios = [Radio(sim, medium, node_id=i, position=pos)
+              for i, pos in enumerate([(0, 0), (5, 0), (10, 0)])]
+    return sim, medium, radios
+
+
+def _send(sim, radios, src, dst):
+    f = Frame(kind=FrameKind.DATA, src=src, dst=dst, payload=b"x",
+              payload_bytes=40)
+    radios[src].transmit(f, 63, lambda: None)
+    sim.run()
+
+
+def test_block_link_invalidates_cache_after_traffic():
+    sim, medium, radios = _cache_net()
+    got = []
+    radios[1].on_frame = lambda f, s: got.append(s)
+    _send(sim, radios, 0, 1)
+    assert got == [0]  # cache built and used
+    medium.block_link(0, 1)
+    _send(sim, radios, 0, 1)
+    assert got == [0]  # no second delivery: the cache saw the block
+    assert not medium.in_range(0, 1)
+
+
+def test_force_link_invalidates_cache_after_traffic():
+    sim, medium, radios = _cache_net()
+    got = []
+    radios[2].on_frame = lambda f, s: got.append(s)
+    _send(sim, radios, 0, 2)
+    assert got == []  # out of range
+    medium.force_link(0, 2)
+    _send(sim, radios, 0, 2)
+    assert got == [0]
+    assert medium.neighbors(0) == [1, 2]
+
+
+def test_direct_link_set_mutation_invalidates_cache():
+    """Chaos tests mutate _blocked_links directly (e.g. scheduling
+    its .clear to heal a partition); the cache must notice."""
+    sim, medium, radios = _cache_net()
+    medium.block_link(0, 1)
+    assert not medium.in_range(0, 1)
+    medium._blocked_links.clear()
+    assert medium.in_range(0, 1)
+    assert medium.cache_rebuilds >= 2
+
+
+# ----------------------------------------------------------------------
+# scheduler: tombstone accounting and compaction
+# ----------------------------------------------------------------------
+def test_cancel_heavy_load_triggers_compaction():
+    sim = Simulator()
+    events = [sim.schedule(10.0, lambda: None) for _ in range(500)]
+    keeper = sim.schedule(1.0, lambda: None)
+    for ev in events:
+        ev.cancel()
+    # >50% of the heap was dead, so it was compacted in place
+    assert sim.compactions >= 1
+    assert sim.cancelled_count < 64
+    assert len(sim._queue) <= 64 + 1
+    assert sim.pending_count() == 1
+    sim.run()
+    assert keeper.fired
+    assert sim.events_processed == 1
+
+
+def test_double_cancel_counts_once():
+    sim = Simulator()
+    ev = sim.schedule(1.0, lambda: None)
+    ev.cancel()
+    ev.cancel()
+    assert sim.cancelled_count == 1
+    sim.run()
+    assert sim.cancelled_count == 0
+    assert sim.events_processed == 0
+
+
+# ----------------------------------------------------------------------
+# periodic events
+# ----------------------------------------------------------------------
+def test_schedule_periodic_fires_every_interval():
+    sim = Simulator()
+    fires = []
+    ev = sim.schedule_periodic(1.0, lambda: fires.append(sim.now))
+    sim.run(until=5.5)
+    assert fires == [1.0, 2.0, 3.0, 4.0, 5.0]
+    ev.cancel()
+    sim.run(until=10.0)
+    assert len(fires) == 5
+
+
+def test_schedule_periodic_rejects_bad_interval():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule_periodic(0.0, lambda: None)
+
+
+def test_periodic_timer_ensure_keeps_phase():
+    sim = Simulator()
+    fires = []
+    timer = PeriodicTimer(sim, lambda: fires.append(sim.now), name="t")
+    timer.start(1.0)
+    sim.run(until=2.5)
+    assert fires == [1.0, 2.0]
+    timer.ensure(1.0)  # same interval: must NOT reset the phase
+    sim.run(until=3.5)
+    assert fires == [1.0, 2.0, 3.0]
+    timer.ensure(0.5)  # interval change: re-arms from now (t=3.5)
+    sim.run(until=4.6)
+    assert fires == [1.0, 2.0, 3.0, 4.0, 4.5]
+    timer.stop()
+    assert not timer.armed
+    sim.run(until=10.0)
+    assert len(fires) == 5

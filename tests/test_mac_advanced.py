@@ -118,9 +118,9 @@ def test_data_request_jumps_send_queue():
     kinds = []
     orig = macs[0].radio.transmit_loaded
 
-    def spy(frame, nbytes, cb):
+    def spy(frame, nbytes, cb, *args):
         kinds.append(frame.kind)
-        orig(frame, nbytes, cb)
+        orig(frame, nbytes, cb, *args)
 
     macs[0].radio.transmit_loaded = spy
     for i in range(3):

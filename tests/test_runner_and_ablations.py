@@ -79,3 +79,44 @@ class TestRunner:
         assert code == 0
         data = json.loads(out.read_text())
         assert "static_tables" in data
+        meta = data["_meta"]
+        assert meta["errors"] == []
+        assert set(meta["wall_times_s"]) == {"static_tables"}
+
+    def test_parallel_jobs_match_serial_run(self, tmp_path):
+        """--jobs N must produce the same document as --jobs 1 apart
+        from the recorded wall times (experiments are independent and
+        internally seeded)."""
+        subset = ["static_tables", "eq2_validation", "sec72_hops"]
+        serial = tmp_path / "serial.json"
+        parallel = tmp_path / "parallel.json"
+        assert main(["--quick", "-o", str(serial), "--only", *subset]) == 0
+        assert main(["--quick", "-o", str(parallel), "--only", *subset,
+                     "--jobs", "4"]) == 0
+        a = json.loads(serial.read_text())
+        b = json.loads(parallel.read_text())
+        meta_a, meta_b = a.pop("_meta"), b.pop("_meta")
+        assert a == b
+        assert list(a) == subset  # registry order, not completion order
+        assert (meta_a["jobs"], meta_b["jobs"]) == (1, 4)
+
+    def test_worker_failure_propagates_to_exit_code(self, tmp_path,
+                                                    monkeypatch):
+        import repro.experiments.runner as runner_mod
+
+        registry = runner_mod.experiment_registry(True)
+
+        def boom():
+            raise RuntimeError("injected")
+
+        monkeypatch.setattr(
+            runner_mod, "experiment_registry",
+            lambda quick: {"boom": boom,
+                           "static_tables": registry["static_tables"]},
+        )
+        out = tmp_path / "r.json"
+        code = runner_mod.main(["--quick", "-o", str(out)])
+        assert code == 1
+        data = json.loads(out.read_text())
+        assert data["boom"] == {"error": "RuntimeError: injected"}
+        assert data["_meta"]["errors"] == ["boom"]
