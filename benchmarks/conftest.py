@@ -7,7 +7,6 @@ where applicable).  ``--benchmark-only`` runs exactly these.
 
 from typing import Iterable, Sequence
 
-import pytest
 
 _CAPMAN = [None]
 

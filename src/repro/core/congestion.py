@@ -11,7 +11,7 @@ All quantities are in bytes.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.sim.trace import TraceRecorder
 
@@ -39,13 +39,20 @@ class NewRenoCongestion:
         self.fast_retransmits = 0
         self._cwnd_series = self.trace.series("tcp.cwnd")
         self._ssthresh_series = self.trace.series("tcp.ssthresh")
+        #: optional observer fired on every window change with
+        #: (now, effective_cwnd, ssthresh) — the connection wires this
+        #: to the metrics/trace layer so this module stays sim-agnostic
+        self.on_window_change: Optional[Callable[[float, int, int], None]] = None
 
     # ------------------------------------------------------------------
     def _record(self, now: float) -> None:
         # record the *effective* window: recovery inflation above the
         # buffer bound never reaches the wire (this is what Fig. 7a plots)
-        self._cwnd_series.record(now, min(self.cwnd, self.max_window))
+        effective = min(self.cwnd, self.max_window)
+        self._cwnd_series.record(now, effective)
         self._ssthresh_series.record(now, min(self.ssthresh, 1 << 20))
+        if self.on_window_change is not None:
+            self.on_window_change(now, effective, min(self.ssthresh, 1 << 20))
 
     def window(self) -> int:
         """Bytes the congestion window currently allows in flight."""

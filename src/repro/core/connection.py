@@ -179,6 +179,60 @@ class TcpConnection:
         self._last_advertised_window = p.recv_buffer
         self.bytes_delivered = 0
 
+        # observability (no-op when the simulator carries no registry)
+        self._bus = getattr(sim, "trace_bus", None)
+        metrics = getattr(sim, "metrics", None)
+        self._rexmit_kind = "rto"
+        if metrics is not None:
+            nid = local_id
+            self._m_segs_sent = metrics.counter("tcp.segs_sent", node=nid)
+            self._m_segs_rcvd = metrics.counter("tcp.segs_rcvd", node=nid)
+            self._m_retransmits = {
+                kind: metrics.counter("tcp.retransmits", node=nid, kind=kind)
+                for kind in ("rto", "fast", "sack")
+            }
+            self._m_dupacks = metrics.counter("tcp.dupacks", node=nid)
+            self._m_rto_events = metrics.counter("tcp.rto_events", node=nid)
+            self._m_zwp = metrics.counter(
+                "tcp.zero_window_probes", node=nid)
+            self._m_sack_blocks = metrics.counter(
+                "tcp.sack_blocks_sent", node=nid)
+            self._g_cwnd = metrics.gauge("tcp.cwnd", node=nid)
+            self._g_ssthresh = metrics.gauge("tcp.ssthresh", node=nid)
+            self._g_srtt = metrics.gauge("tcp.srtt_seconds", node=nid)
+            self._g_rto = metrics.gauge("tcp.rto_seconds", node=nid)
+            self._h_rtt = metrics.histogram("tcp.rtt_seconds", node=nid)
+            self.cc.on_window_change = self._on_window_change
+            self.rtt.on_update = self._on_rtt_update
+        else:
+            self._m_segs_sent = None
+            self._m_segs_rcvd = None
+            self._m_retransmits = None
+            self._m_dupacks = None
+            self._m_rto_events = None
+            self._m_zwp = None
+            self._m_sack_blocks = None
+            if self._bus is not None:
+                self.cc.on_window_change = self._on_window_change
+                self.rtt.on_update = self._on_rtt_update
+
+    # ------------------------------------------------------------------
+    # metrics observers (wired to cc/rtt only when observability is on)
+    # ------------------------------------------------------------------
+    def _on_window_change(self, now: float, cwnd: int, ssthresh: int) -> None:
+        if self._m_segs_sent is not None:
+            self._g_cwnd.set(cwnd)
+            self._g_ssthresh.set(ssthresh)
+        if self._bus is not None:
+            self._bus.emit("tcp", self.local_id, "cwnd",
+                           cwnd=cwnd, ssthresh=ssthresh)
+
+    def _on_rtt_update(self, sample: float, srtt: float, rto: float) -> None:
+        if self._m_segs_sent is not None:
+            self._h_rtt.observe(sample)
+            self._g_srtt.set(srtt)
+            self._g_rto.set(rto)
+
     # ==================================================================
     # small helpers
     # ==================================================================
@@ -412,10 +466,20 @@ class TcpConnection:
             ecn_bits = ECN_ECT0
         self._charge_cpu()
         self.trace.counters.incr("tcp.segs_sent")
+        if self._m_segs_sent is not None:
+            self._m_segs_sent.inc()
+            if opts.sack_blocks:
+                self._m_sack_blocks.inc(len(opts.sack_blocks))
         if data:
             self.trace.counters.incr("tcp.data_segs_sent")
             if is_retransmit:
                 self.trace.counters.incr("tcp.retransmits")
+                if self._m_retransmits is not None:
+                    self._m_retransmits[self._rexmit_kind].inc()
+                if self._bus is not None:
+                    self._bus.emit("tcp", self.local_id, "retransmit",
+                                   seq=seq, kind=self._rexmit_kind,
+                                   bytes=len(data))
         self.network.send(
             self.peer_id,
             PROTO_TCP,
@@ -438,6 +502,8 @@ class TcpConnection:
             if self.params.ecn:
                 flags |= FLAG_ECE | FLAG_CWR
         self.trace.counters.incr("tcp.segs_sent")
+        if self._m_segs_sent is not None:
+            self._m_segs_sent.inc()
         self._charge_cpu()
         seg = Segment(
             src_port=self.local_port,
@@ -501,6 +567,12 @@ class TcpConnection:
             self._error_out("connection timed out (data)")
             return
         self.trace.counters.incr("tcp.rto_events")
+        if self._m_rto_events is not None:
+            self._m_rto_events.inc()
+        if self._bus is not None:
+            self._bus.emit("tcp", self.local_id, "rto",
+                           shift=self.rto_shift, snd_una=self.snd_una)
+        self._rexmit_kind = "rto"
         if self.params.bad_rexmit_detection and self.ts_enabled:
             # snapshot so a spurious timeout can be undone (footnote 8)
             self._badrexmit = {
@@ -548,6 +620,11 @@ class TcpConnection:
             return
         # window probe: one byte past the edge
         self.trace.counters.incr("tcp.zero_window_probes")
+        if self._m_zwp is not None:
+            self._m_zwp.inc()
+        if self._bus is not None:
+            self._bus.emit("tcp", self.local_id, "zero_window_probe",
+                           shift=self._persist_shift)
         offset = seq_sub(self.snd_nxt, self.snd_una)
         if self.send_buf.used > offset:
             data = self.send_buf.peek(offset, 1)
@@ -599,6 +676,8 @@ class TcpConnection:
         else:
             self._charge_cpu()
         self.trace.counters.incr("tcp.segs_rcvd")
+        if self._m_segs_rcvd is not None:
+            self._m_segs_rcvd.inc()
         self._last_activity = self.sim.now
         self._keepalive_unanswered = 0
         if self.state is TcpState.CLOSED:
@@ -708,7 +787,6 @@ class TcpConnection:
         self._process_syn_options(seg, packet)
         if seg.ack_flag:
             # normal SYN-ACK
-            acked = seq_sub(seg.ack, self.snd_una)
             self.snd_una = seg.ack
             self.rto_shift = 0
             self.state = TcpState.ESTABLISHED
@@ -878,12 +956,17 @@ class TcpConnection:
             return
         self.dupacks += 1
         self.trace.counters.incr("tcp.dupacks")
+        if self._m_dupacks is not None:
+            self._m_dupacks.inc()
         if self.cc.in_recovery:
             self.cc.on_dupack_in_recovery(self.sim.now)
             self.output()
             return
         if self.dupacks == self.params.dupack_threshold:
             self.trace.counters.incr("tcp.fast_retransmits")
+            if self._bus is not None:
+                self._bus.emit("tcp", self.local_id, "fast_retransmit",
+                               snd_una=self.snd_una)
             self.cc.enter_recovery(self.flight_size(), self.snd_max, self.sim.now)
             self._fast_retransmit_hole()
             self.rexmt_timer.start(self._current_rto())
@@ -900,12 +983,14 @@ class TcpConnection:
                 if not fin_only:
                     data = self.send_buf.peek(offset, length)
                     if data:
+                        self._rexmit_kind = "sack"
                         self._send_data_segment(start, data, is_retransmit=True)
                         return
         # no SACK information: retransmit the head
         pending = min(self.mss, self.send_buf.used)
         if pending > 0:
             data = self.send_buf.peek(0, pending)
+            self._rexmit_kind = "fast"
             self._send_data_segment(self.snd_una, data, is_retransmit=True)
         elif self._fin_seq is not None:
             self._emit(flags=FLAG_FIN | FLAG_ACK, seq=self._fin_seq)

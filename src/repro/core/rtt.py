@@ -10,7 +10,7 @@ discarded.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 
 class RttEstimator:
@@ -35,6 +35,9 @@ class RttEstimator:
         self.rttvar: float = 0.0
         self.samples = 0
         self.last_sample: Optional[float] = None
+        #: optional observer fired after each sample with (sample, srtt,
+        #: rto); wired by the connection for metrics/tracing
+        self.on_update: Optional[Callable[[float, float, float], None]] = None
 
     def update(self, sample: float) -> None:
         """Fold one RTT measurement into the estimator."""
@@ -50,6 +53,8 @@ class RttEstimator:
                 self.srtt - sample
             )
             self.srtt = (1 - self.ALPHA) * self.srtt + self.ALPHA * sample
+        if self.on_update is not None:
+            self.on_update(sample, self.srtt, self.rto)
 
     @property
     def rto(self) -> float:

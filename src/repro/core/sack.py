@@ -31,7 +31,7 @@ class SackScoreboard:
 
     def sacked_bytes(self) -> int:
         """Total bytes the receiver reported holding."""
-        return sum((r - l) % (1 << 32) for l, r in self._ranges)
+        return sum((hi - lo) % (1 << 32) for lo, hi in self._ranges)
 
     def update(self, blocks: List[Tuple[int, int]], snd_una: int) -> None:
         """Merge the SACK blocks of one ACK; prune below snd_una."""
@@ -43,12 +43,12 @@ class SackScoreboard:
 
     def _insert(self, left: int, right: int) -> None:
         merged: List[Tuple[int, int]] = []
-        for l, r in self._ranges:
-            if seq_lt(r, left) or seq_gt(l, right):
-                merged.append((l, r))
+        for lo, hi in self._ranges:
+            if seq_lt(hi, left) or seq_gt(lo, right):
+                merged.append((lo, hi))
             else:
-                left = seq_min(left, l)
-                right = seq_max(right, r)
+                left = seq_min(left, lo)
+                right = seq_max(right, hi)
         merged.append((left, right))
         # All ranges sit within one window of snd_una, far from the wrap
         # point relative to each other, so sorting by raw left edge is safe.
@@ -58,16 +58,16 @@ class SackScoreboard:
     def advance(self, snd_una: int) -> None:
         """Discard ranges at or below the new cumulative ACK point."""
         kept = []
-        for l, r in self._ranges:
-            if seq_le(r, snd_una):
+        for lo, hi in self._ranges:
+            if seq_le(hi, snd_una):
                 continue
-            kept.append((seq_max(l, snd_una), r))
+            kept.append((seq_max(lo, snd_una), hi))
         self._ranges = kept
 
     def is_sacked(self, left: int, right: int) -> bool:
         """True if [left, right) lies entirely inside one SACKed range."""
-        for l, r in self._ranges:
-            if seq_ge(left, l) and seq_le(right, r):
+        for lo, hi in self._ranges:
+            if seq_ge(left, lo) and seq_le(right, hi):
                 return True
         return False
 
@@ -82,13 +82,13 @@ class SackScoreboard:
         if not self._ranges:
             return None
         cursor = snd_una
-        for l, r in self._ranges:
-            if seq_lt(cursor, l):
-                end = seq_min(l, snd_nxt)
+        for lo, hi in self._ranges:
+            if seq_lt(cursor, lo):
+                end = seq_min(lo, snd_nxt)
                 if seq_lt(cursor, end):
                     length = (end - cursor) % (1 << 32)
                     return cursor, (cursor + min(length, mss)) % (1 << 32)
-            cursor = seq_max(cursor, r)
+            cursor = seq_max(cursor, hi)
         return None
 
     def highest_sacked(self) -> Optional[int]:

@@ -188,8 +188,8 @@ class TcpStack:
             )
             listener.accepted += 1
 
-            def fire_accept(c=conn, l=listener):
-                l.on_accept(c)
+            def fire_accept(c=conn, lst=listener):
+                lst.on_accept(c)
 
             conn.on_connect = fire_accept
             conn.accept_syn(seg, packet)

@@ -57,7 +57,7 @@ class AppRunResult:
 
 
 def _leaf_duty_cycles(net: Network) -> Dict[str, float]:
-    leaves = [net.nodes[l] for l in net.leaf_ids]
+    leaves = [net.nodes[leaf] for leaf in net.leaf_ids]
     return {
         "radio": sum(n.radio_duty_cycle() for n in leaves) / len(leaves),
         "cpu": sum(n.cpu_duty_cycle() for n in leaves) / len(leaves),

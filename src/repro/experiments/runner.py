@@ -134,24 +134,40 @@ def _strip_rtt_samples(rows):
     return out
 
 
-def _run_one(name: str, quick: bool) -> Tuple[str, object, float, bool]:
+def _run_one(
+    name: str, quick: bool, metrics: bool = False
+) -> Tuple[str, object, float, bool, object]:
     """Run one experiment; never raises.
 
     Module-level (not a closure) so a multiprocessing pool can dispatch
     it: the registry holds lambdas, which cannot be pickled, so each
     worker rebuilds the registry from ``(name, quick)`` instead.
-    Returns ``(name, result-or-error-dict, wall_seconds, ok)`` — the
-    ``ok`` flag is the structural success signal, so callers never have
-    to sniff result dicts for an ``"error"`` key.
+    Returns ``(name, result-or-error-dict, wall_seconds, ok, snaps)`` —
+    the ``ok`` flag is the structural success signal, so callers never
+    have to sniff result dicts for an ``"error"`` key.  ``snaps`` is a
+    list of metrics snapshots (one per simulator the experiment built)
+    when ``metrics`` is set, else ``None``; auto-attach is enabled
+    inside the worker, so it works identically under a process pool.
     """
+    from repro.sim import metrics as metrics_mod
+
     start = time.perf_counter()
+    if metrics:
+        metrics_mod.auto_attach(True)
     try:
         result = experiment_registry(quick)[name]()
         ok = True
     except Exception as exc:  # a broken experiment must not eat the rest
         result = {"error": f"{type(exc).__name__}: {exc}"}
         ok = False
-    return name, result, time.perf_counter() - start, ok
+    snaps = None
+    if metrics:
+        snaps = [
+            registry.snapshot()
+            for registry, _bus in metrics_mod.drain_attached()
+        ]
+        metrics_mod.auto_attach(False)
+    return name, result, time.perf_counter() - start, ok, snaps
 
 
 def run_all_detailed(
@@ -159,6 +175,7 @@ def run_all_detailed(
     only=None,
     progress=print,
     jobs: int = 1,
+    collect_metrics: bool = False,
 ) -> Tuple[Dict, Dict]:
     """Run the registry; returns ``(results, meta)``.
 
@@ -166,7 +183,11 @@ def run_all_detailed(
     order regardless of worker completion order.  ``meta`` carries
     ``wall_times_s``, ``errors`` (names of failed experiments, tracked
     structurally from the worker's ok flag), ``jobs`` and
-    ``total_wall_s``.
+    ``total_wall_s``.  With ``collect_metrics``, every experiment runs
+    with the observability registry attached and ``meta`` additionally
+    carries ``metrics_snapshots``: ``{experiment: [snapshot, ...]}``
+    (one snapshot per simulator the experiment built, in construction
+    order — deterministic, so diffable across runs).
     """
     registry_names = list(experiment_registry(quick))
     if only:
@@ -181,23 +202,29 @@ def run_all_detailed(
     ]
     collected: Dict[str, object] = {}
     wall_times: Dict[str, float] = {}
+    snapshots: Dict[str, object] = {}
     errors: List[str] = []
     t0 = time.perf_counter()
     if jobs > 1 and len(names) > 1:
-        worker = functools.partial(_run_one, quick=quick)
+        worker = functools.partial(_run_one, quick=quick,
+                                   metrics=collect_metrics)
         with multiprocessing.Pool(processes=min(jobs, len(names))) as pool:
-            for name, result, wall, ok in pool.imap_unordered(worker, names):
+            for name, result, wall, ok, snaps in pool.imap_unordered(
+                    worker, names):
                 collected[name] = result
                 wall_times[name] = wall
+                snapshots[name] = snaps
                 if not ok:
                     errors.append(name)
                 progress(f"[{name}] done in {wall:.1f}s")
     else:
         for name in names:
             progress(f"[{name}] running ...")
-            _, result, wall, ok = _run_one(name, quick)
+            _, result, wall, ok, snaps = _run_one(
+                name, quick, metrics=collect_metrics)
             collected[name] = result
             wall_times[name] = wall
+            snapshots[name] = snaps
             if not ok:
                 errors.append(name)
             progress(f"[{name}] done in {wall:.1f}s")
@@ -209,6 +236,8 @@ def run_all_detailed(
         "total_wall_s": round(time.perf_counter() - t0, 3),
         "errors": [name for name in names if name in errors],
     }
+    if collect_metrics:
+        meta["metrics_snapshots"] = {name: snapshots[name] for name in names}
     return results, meta
 
 
@@ -231,14 +260,25 @@ def main(argv=None) -> int:
                         help="worker processes (experiments are "
                              "independent; results are identical to a "
                              "serial run apart from wall times)")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="also run with the observability registry "
+                             "attached and write per-experiment metrics "
+                             "snapshots to PATH (see "
+                             "docs/observability.md)")
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
     try:
-        results, meta = run_all_detailed(quick=args.quick, only=args.only,
-                                         jobs=args.jobs)
+        results, meta = run_all_detailed(
+            quick=args.quick, only=args.only, jobs=args.jobs,
+            collect_metrics=args.metrics_out is not None)
     except ValueError as exc:  # e.g. a typo'd --only name
         parser.error(str(exc))
+    if args.metrics_out is not None:
+        snapshots = meta.pop("metrics_snapshots")
+        with open(args.metrics_out, "w") as fh:
+            json.dump(snapshots, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.metrics_out}")
     document = dict(results)
     document["_meta"] = meta
     with open(args.output, "w") as fh:

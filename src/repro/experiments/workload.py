@@ -121,7 +121,6 @@ class BulkTransfer:
 
     def measure(self, warmup: float, duration: float) -> BulkResult:
         """Run the simulation for warmup + duration; return metrics."""
-        start_counters = None
         self.sim.run(until=self.sim.now + warmup)
         self.meter.start()
         base = dict(self._conn.trace.counters.as_dict())

@@ -94,6 +94,28 @@ class MacLayer:
         # overhead is measurable at frame dispatch rates.
         self._counts = self.trace.counters._counts
         self._cpu = radio.cpu
+        # Observability instruments, resolved once; all None when the
+        # simulation carries no registry so each emission site costs a
+        # single identity test on the disabled path.
+        self._bus = getattr(sim, "trace_bus", None)
+        metrics = getattr(sim, "metrics", None)
+        if metrics is not None:
+            nid = self.node_id
+            self._m_frames_tx = metrics.counter("mac.frames_tx", node=nid)
+            self._m_backoffs = metrics.counter("mac.csma_backoffs", node=nid)
+            self._m_csma_fail = metrics.counter("mac.csma_failures", node=nid)
+            self._m_retries = metrics.counter("mac.link_retries", node=nid)
+            self._m_ack_timeouts = metrics.counter("mac.ack_timeouts", node=nid)
+            self._m_tx_fail = metrics.counter("mac.tx_failures", node=nid)
+            self._m_tail_drops = metrics.counter("mac.tail_drops", node=nid)
+        else:
+            self._m_frames_tx = None
+            self._m_backoffs = None
+            self._m_csma_fail = None
+            self._m_retries = None
+            self._m_ack_timeouts = None
+            self._m_tx_fail = None
+            self._m_tail_drops = None
 
         self._queue: Deque[_TxOp] = deque()
         self._current: Optional[_TxOp] = None
@@ -141,6 +163,10 @@ class MacLayer:
             return self._enqueue_indirect(dst, op)
         if len(self._queue) >= self.params.tx_queue_limit:
             self.trace.counters.incr("mac.tail_drops")
+            if self._m_tail_drops is not None:
+                self._m_tail_drops.inc()
+            if self._bus is not None:
+                self._bus.emit("mac", self.node_id, "tail_drop", dst=dst)
             if on_done is not None:
                 on_done(False)
             return False
@@ -222,6 +248,8 @@ class MacLayer:
         self._backoff(op)
 
     def _backoff(self, op: _TxOp) -> None:
+        if self._m_backoffs is not None:
+            self._m_backoffs.inc()
         slots = self._csma_rng.randint(0, (1 << op.be) - 1)
         delay = slots * self.radio.params.unit_backoff
         if self.radio.deaf_csma:
@@ -239,6 +267,11 @@ class MacLayer:
             op.be = min(op.be + 1, self.params.max_be)
             if op.nb > self.params.max_csma_backoffs:
                 self._counts["mac.csma_failures"] += 1
+                if self._m_csma_fail is not None:
+                    self._m_csma_fail.inc()
+                if self._bus is not None:
+                    self._bus.emit("mac", self.node_id, "csma_failure",
+                                   dst=op.frame.dst, retries=op.retries)
                 self._retry(op)
             else:
                 self._backoff(op)
@@ -247,6 +280,8 @@ class MacLayer:
         self._cpu._busy += self.params.per_frame_cpu
         radio.transmit_loaded(op.frame, op.frame.byte_size, self._tx_done, op)
         self._counts["mac.frames_tx"] += 1
+        if self._m_frames_tx is not None:
+            self._m_frames_tx.inc()
 
     def _tx_done(self, op: _TxOp) -> None:
         if op is not self._current:
@@ -263,6 +298,8 @@ class MacLayer:
             return
         self._ack_timer_event = None
         self._counts["mac.ack_timeouts"] += 1
+        if self._m_ack_timeouts is not None:
+            self._m_ack_timeouts.inc()
         self._retry(op)
 
     def _retry(self, op: _TxOp) -> None:
@@ -274,9 +311,19 @@ class MacLayer:
         )
         if op.retries > limit:
             self._counts["mac.tx_failures"] += 1
+            if self._m_tx_fail is not None:
+                self._m_tx_fail.inc()
+            if self._bus is not None:
+                self._bus.emit("mac", self.node_id, "tx_failure",
+                               dst=op.frame.dst, retries=op.retries)
             self._finish(op, False)
             return
         self._counts["mac.link_retries"] += 1
+        if self._m_retries is not None:
+            self._m_retries.inc()
+        if self._bus is not None:
+            self._bus.emit("mac", self.node_id, "link_retry",
+                           dst=op.frame.dst, attempt=op.retries)
         # The paper's fix for hidden terminals (§7.1): wait a random
         # duration in [0, d] before re-running CSMA for the retry.
         # Indirect frames retry quickly instead (§9.5 improvement 3) —

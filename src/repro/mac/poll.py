@@ -72,6 +72,24 @@ class SleepyEndDevice:
         )
         self.polls_sent = 0
         self.data_request_timeouts = 0
+        self._poll_sent_at = 0.0
+        self._bus = getattr(sim, "trace_bus", None)
+        metrics = getattr(sim, "metrics", None)
+        if metrics is not None:
+            nid = mac.node_id
+            self._m_polls = metrics.counter("mac.polls_sent", node=nid)
+            self._m_poll_timeouts = metrics.counter(
+                "mac.poll_timeouts", node=nid
+            )
+            #: time from sending a data request to its link ACK — the
+            #: §9.2 latency that fast-poll mode exists to shrink
+            self._m_poll_latency = metrics.histogram(
+                "mac.poll_latency_seconds", node=nid
+            )
+        else:
+            self._m_polls = None
+            self._m_poll_timeouts = None
+            self._m_poll_latency = None
 
         mac.on_poll_ack = self._on_poll_ack
         mac.on_data_pending = self._on_data_pending
@@ -113,6 +131,9 @@ class SleepyEndDevice:
     def _poll(self) -> None:
         self.polls_sent += 1
         self._awaiting_poll_ack = True
+        self._poll_sent_at = self.sim.now
+        if self._m_polls is not None:
+            self._m_polls.inc()
         self.mac.radio.listen()
         self.mac.send_data_request(self.parent)
         # If the data request dies (no link ACK after retries), the MAC
@@ -123,6 +144,13 @@ class SleepyEndDevice:
         self._poll_timer.ensure(self._current_interval())
 
     def _on_poll_ack(self, pending: bool) -> None:
+        if self._awaiting_poll_ack:
+            if self._m_poll_latency is not None:
+                self._m_poll_latency.observe(self.sim.now - self._poll_sent_at)
+            if self._bus is not None:
+                self._bus.emit("mac", self.mac.node_id, "poll_ack",
+                               pending=pending,
+                               latency=self.sim.now - self._poll_sent_at)
         self._awaiting_poll_ack = False
         if pending:
             self._listening_for_data = True
@@ -152,6 +180,10 @@ class SleepyEndDevice:
     def _window_closed(self) -> None:
         if self._awaiting_poll_ack:
             self.data_request_timeouts += 1
+            if self._m_poll_timeouts is not None:
+                self._m_poll_timeouts.inc()
+            if self._bus is not None:
+                self._bus.emit("mac", self.mac.node_id, "poll_timeout")
             self._awaiting_poll_ack = False
         if self.params.adaptive and not self._listening_for_data:
             self._grow_interval()

@@ -17,8 +17,8 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 from repro.lowpan.iphc import (
-    PROTO_TCP,
-    PROTO_UDP,
+    PROTO_TCP,  # noqa: F401  (re-exported: repro.net's canonical home)
+    PROTO_UDP,  # noqa: F401  (re-exported: repro.net's canonical home)
     CompressionContext,
     compressed_ipv6_bytes,
 )
@@ -134,6 +134,21 @@ class Ipv6Layer:
         self._forward_busy = False
         #: optional hook observing every packet sent (loss injection, tests)
         self.pre_route_hook: Optional[Callable[[Ipv6Packet], bool]] = None
+        self._bus = getattr(sim, "trace_bus", None)
+        metrics = getattr(sim, "metrics", None)
+        if metrics is not None:
+            self._m_forwards = metrics.counter("net.forwards", node=node_id)
+            self._m_delivered = metrics.counter("net.delivered", node=node_id)
+            self._m_queue_drops = metrics.counter(
+                "net.queue_drops", node=node_id)
+            self._m_ecn_marks = metrics.counter("net.ecn_marks", node=node_id)
+            self._m_no_route = metrics.counter("net.no_route", node=node_id)
+        else:
+            self._m_forwards = None
+            self._m_delivered = None
+            self._m_queue_drops = None
+            self._m_ecn_marks = None
+            self._m_no_route = None
 
     def register(self, next_header: int, handler: Callable[[Ipv6Packet], None]) -> None:
         """Register a transport handler for a protocol number.
@@ -186,6 +201,8 @@ class Ipv6Layer:
         next_hop = self.routing.next_hop(self.node_id, packet.dst)
         if next_hop is None:
             self.trace.counters.incr("ipv6.no_route")
+            if self._m_no_route is not None:
+                self._m_no_route.inc()
             return
         wired = self.wired_links.get(next_hop)
         if wired is not None:
@@ -214,6 +231,8 @@ class Ipv6Layer:
                 self.trace.counters.incr("ipv6.no_handler")
                 return
             self.trace.counters.incr("ipv6.delivered")
+            if self._m_delivered is not None:
+                self._m_delivered.inc()
             handler(packet)
             return
         self.forward(packet)
@@ -224,6 +243,8 @@ class Ipv6Layer:
         if packet.hop_limit <= 0:
             self.trace.counters.incr("ipv6.hop_limit_exceeded")
             return
+        if self._m_forwards is not None:
+            self._m_forwards.inc()
         if self.forward_queue is not None:
             self._enqueue_forward(packet)
         else:
@@ -233,9 +254,16 @@ class Ipv6Layer:
         action = self.forward_queue.enqueue(packet)
         if action == "drop":
             self.trace.counters.incr("ipv6.queue_drops")
+            if self._m_queue_drops is not None:
+                self._m_queue_drops.inc()
+            if self._bus is not None:
+                self._bus.emit("net", self.node_id, "queue_drop",
+                               src=packet.src, dst=packet.dst)
             return
         if action == "mark":
             self.trace.counters.incr("ipv6.ecn_marks")
+            if self._m_ecn_marks is not None:
+                self._m_ecn_marks.inc()
         self._pump_forward()
 
     def _pump_forward(self) -> None:
@@ -248,6 +276,8 @@ class Ipv6Layer:
         next_hop = self.routing.next_hop(self.node_id, packet.dst)
         if next_hop is None:
             self.trace.counters.incr("ipv6.no_route")
+            if self._m_no_route is not None:
+                self._m_no_route.inc()
             self._forward_busy = False
             self._pump_forward()
             return

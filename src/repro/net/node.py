@@ -83,6 +83,25 @@ class Node:
             self.ipv6.forward_queue = RedQueue(self.config.red, rng, stream=f"red:{node_id}")
         self.udp = UdpStack(self.ipv6)
         self.sleepy: Optional[SleepyEndDevice] = None
+        metrics = getattr(sim, "metrics", None)
+        if metrics is not None and self.ipv6.forward_queue is not None:
+            metrics.register_collector(self._collect_queue_metrics)
+
+    def _collect_queue_metrics(self, metrics) -> None:
+        """Export forward-queue state as gauges (snapshot-time pull)."""
+        queue = self.ipv6.forward_queue
+        metrics.gauge("net.forward_queue_depth", node=self.node_id).set(
+            len(queue)
+        )
+        metrics.gauge("net.queue_drops_total", node=self.node_id).set(
+            queue.drops
+        )
+        avg = getattr(queue, "avg", None)
+        if avg is not None:
+            metrics.gauge("net.red_avg_depth", node=self.node_id).set(avg)
+            metrics.gauge("net.red_marks_total", node=self.node_id).set(
+                queue.marks
+            )
 
     # ------------------------------------------------------------------
     # wiring helpers

@@ -14,7 +14,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Optional
 
-from repro.net.ipv6 import ECN_CE, ECN_ECT0, ECN_ECT1, ECN_NOT_ECT, Ipv6Packet
+from repro.net.ipv6 import ECN_CE, ECN_ECT0, ECN_ECT1, Ipv6Packet
 from repro.sim.rng import RngStreams
 
 

@@ -125,7 +125,9 @@ class MeshRouting:
 
     def attached_leaves(self, router: int) -> List[int]:
         """Leaves parented to ``router``."""
-        return sorted(l for l, p in self.leaf_parents.items() if p == router)
+        return sorted(
+            leaf for leaf, p in self.leaf_parents.items() if p == router
+        )
 
     def next_hop(self, node: int, dst: int) -> Optional[int]:
         """Next hop from ``node`` toward ``dst``."""

@@ -156,6 +156,28 @@ class Medium:
         self.frames_delivered = 0
         self.frames_collided = 0
         self.frames_lost = 0
+        # Observability (None when disabled — each guard below is one
+        # attribute load + identity test, so the disabled path stays on
+        # the PR 1 fast path).  Per-receiver instruments are cached in
+        # dicts keyed by node id so the delivery loop never hashes
+        # label tuples.
+        self._metrics = getattr(sim, "metrics", None)
+        self._bus = getattr(sim, "trace_bus", None)
+        if self._metrics is not None:
+            self._m_tx: Dict[int, object] = {}
+            self._m_collisions: Dict[int, object] = {}
+            self._m_deliveries: Dict[int, object] = {}
+            self._m_losses: Dict[int, object] = {}
+            self._m_missed: Dict[int, object] = {}
+            self._m_carrier_busy: Dict[int, object] = {}
+
+    def _node_counter(self, cache: Dict[int, object], name: str,
+                      node_id: int):
+        counter = cache.get(node_id)
+        if counter is None:
+            counter = self._metrics.counter(name, node=node_id)
+            cache[node_id] = counter
+        return counter
 
     # ------------------------------------------------------------------
     # topology
@@ -281,11 +303,20 @@ class Medium:
                 sets = self._build_cache()
             for tx in active:
                 if node_id in sets[tx.sender.node_id]:
+                    if self._metrics is not None:
+                        self._node_counter(
+                            self._m_carrier_busy, "phy.carrier_busy", node_id
+                        ).inc()
                     return True
             return False
-        return any(
+        busy = any(
             self._in_range_uncached(tx.sender.node_id, node_id) for tx in active
         )
+        if busy and self._metrics is not None:
+            self._node_counter(
+                self._m_carrier_busy, "phy.carrier_busy", node_id
+            ).inc()
+        return busy
 
     def begin_transmission(self, sender: "Radio", frame: object, air_time: float) -> Transmission:
         """Put a frame on the air; schedules its own completion."""
@@ -319,6 +350,10 @@ class Medium:
                         tx.spoiled.add(rcv_id)
                         other.spoiled.add(rcv_id)
         self._active.append(tx)
+        if self._metrics is not None:
+            self._node_counter(self._m_tx, "phy.tx", sender_id).inc()
+        if self._bus is not None:
+            self._bus.emit("phy", sender_id, "tx_begin", air_time=air_time)
         self.sim.schedule(air_time, self._end_transmission, tx)
         return tx
 
@@ -342,24 +377,50 @@ class Medium:
         frame_filters = self.frame_filters
         now = self.sim.now
         start = tx.start
+        metrics = self._metrics
+        bus = self._bus
         for rcv_id, radio in receivers:
             if rcv_id in spoiled:
                 self.frames_collided += 1
+                if metrics is not None:
+                    self._node_counter(
+                        self._m_collisions, "phy.collisions", rcv_id
+                    ).inc()
+                if bus is not None:
+                    bus.emit("phy", rcv_id, "collision", sender=sender_id)
                 continue
             # Inlined Radio.listened_throughout (hot: once per potential
             # receiver per frame): continuously in LISTEN since tx start?
             if radio.energy.state is not _LISTEN or radio._listen_since > start:
                 # Asleep, deaf (hardware-CSMA backoff), or transmitting.
+                if metrics is not None:
+                    self._node_counter(
+                        self._m_missed, "phy.missed_not_listening", rcv_id
+                    ).inc()
                 continue
             if loss_models and any(
                 loss(sender_id, rcv_id, now) for loss in loss_models
             ):
                 self.frames_lost += 1
+                if metrics is not None:
+                    self._node_counter(
+                        self._m_losses, "phy.losses", rcv_id
+                    ).inc()
+                if bus is not None:
+                    bus.emit("phy", rcv_id, "loss", sender=sender_id)
                 continue
             if frame_filters and any(
                 f(tx.frame, sender_id, rcv_id) for f in frame_filters
             ):
                 self.frames_lost += 1
+                if metrics is not None:
+                    self._node_counter(
+                        self._m_losses, "phy.losses", rcv_id
+                    ).inc()
                 continue
             self.frames_delivered += 1
+            if metrics is not None:
+                self._node_counter(
+                    self._m_deliveries, "phy.deliveries", rcv_id
+                ).inc()
             radio.deliver(tx.frame, sender_id)

@@ -57,6 +57,30 @@ class Radio:
         self.frames_sent = 0
         self.frames_received = 0
         medium.register(self, position)
+        metrics = getattr(sim, "metrics", None)
+        if metrics is not None:
+            # Energy accounting is pulled at snapshot time rather than
+            # pushed per transition: the ledger already holds the state
+            # totals, so the radio hot path carries no metrics code.
+            metrics.register_collector(self._collect_metrics)
+
+    def _collect_metrics(self, metrics) -> None:
+        """Export energy/traffic state as gauges (snapshot-time pull)."""
+        nid = self.node_id
+        for state, seconds in self.energy._settled().items():
+            metrics.gauge(
+                "phy.radio_time_seconds", node=nid, state=state.value
+            ).set(seconds)
+        metrics.gauge("phy.radio_duty_cycle", node=nid).set(
+            self.energy.radio_duty_cycle()
+        )
+        metrics.gauge("phy.cpu_busy_seconds", node=nid).set(
+            self.cpu.busy_time()
+        )
+        metrics.gauge("phy.frames_sent", node=nid).set(self.frames_sent)
+        metrics.gauge("phy.frames_received", node=nid).set(
+            self.frames_received
+        )
 
     # ------------------------------------------------------------------
     # state control (driven by the MAC)

@@ -5,21 +5,35 @@ TCP, CoAP) is driven by the scheduler in :mod:`repro.sim.engine`.  The
 engine is deliberately small: a binary-heap event queue with cancellable
 events, a simulated clock, and per-simulation deterministic random
 number streams (:mod:`repro.sim.rng`).  :mod:`repro.sim.trace` provides
-counters and time-series recorders used by the experiment harness to
-extract goodput, duty cycles, and cwnd traces.
+counters, time-series recorders, and the structured event-trace bus;
+:mod:`repro.sim.metrics` provides the simulator-scoped metrics registry
+(labelled counters/gauges/histograms with deterministic snapshots) that
+``tools/bench.py --metrics-gate`` turns into a CI behavioural gate.
+See ``docs/observability.md`` for how the pieces fit.
 """
 
 from repro.sim.engine import Event, Simulator
+from repro.sim.metrics import MetricsRegistry, diff_snapshots
 from repro.sim.rng import RngStreams
 from repro.sim.timers import Timer
-from repro.sim.trace import Counter, SeriesRecorder, TraceRecorder
+from repro.sim.trace import (
+    Counter,
+    SeriesRecorder,
+    TraceBus,
+    TraceEvent,
+    TraceRecorder,
+)
 
 __all__ = [
     "Event",
     "Simulator",
+    "MetricsRegistry",
+    "diff_snapshots",
     "RngStreams",
     "Timer",
     "Counter",
     "SeriesRecorder",
+    "TraceBus",
+    "TraceEvent",
     "TraceRecorder",
 ]

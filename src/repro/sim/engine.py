@@ -28,6 +28,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, List, Optional, Tuple
 
+from repro.sim import metrics as _metrics
+
 _heappush = heapq.heappush
 _heappop = heapq.heappop
 
@@ -123,6 +125,11 @@ class Simulator:
         #: callback runs — used by the determinism regression tests to
         #: capture the exact event sequence of a run
         self.on_event: Optional[Callable[[Event], None]] = None
+        #: observability (repro.sim.metrics / repro.sim.trace): both are
+        #: None unless metrics.auto_attach() is active or the caller
+        #: assigns them *before* building the network — layers cache
+        #: their instruments at construction time.
+        self.metrics, self.trace_bus = _metrics.attach(self)
 
     # ------------------------------------------------------------------
     # scheduling

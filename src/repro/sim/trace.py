@@ -1,14 +1,23 @@
-"""Counters and time-series recorders for experiment metrics.
+"""Counters, time-series recorders, and the structured event-trace bus.
 
 The experiment harness extracts every number the paper reports (goodput,
 segment-loss rate, RTT percentiles, duty cycles, cwnd traces, frame
 counts) from these primitives rather than ad-hoc prints, so tests can
 assert on them directly.
+
+:class:`TraceBus` is the qualitative half of the observability layer
+(its quantitative sibling is :class:`repro.sim.metrics.MetricsRegistry`):
+typed event records stamped with simulated time, originating layer and
+node, kept either in a bounded ring buffer or as a full capture, and
+exportable to JSONL or CSV for offline analysis.  Layers emit behind
+``is None`` guards, so a simulation without a bus pays nothing.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
+import csv
+import json
+from collections import defaultdict, deque
 from typing import Dict, Iterable, List, Optional, Tuple
 
 
@@ -102,6 +111,136 @@ class TraceRecorder:
     def has_series(self, name: str) -> bool:
         """True if the named series has been created."""
         return name in self._series
+
+
+class TraceEvent:
+    """One structured trace record.
+
+    ``fields`` carries event-specific details (sequence numbers, retry
+    counts, window sizes) as a plain dict of JSON-serialisable values.
+    """
+
+    __slots__ = ("time", "layer", "node", "kind", "fields")
+
+    def __init__(self, time: float, layer: str, node: int, kind: str,
+                 fields: Optional[Dict[str, object]] = None):
+        self.time = time
+        self.layer = layer
+        self.node = node
+        self.kind = kind
+        self.fields = fields or {}
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready form (the JSONL line format)."""
+        return {
+            "t": self.time,
+            "layer": self.layer,
+            "node": self.node,
+            "kind": self.kind,
+            "fields": self.fields,
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceEvent):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<TraceEvent t={self.time:.6f} {self.layer}/{self.kind} "
+                f"node={self.node} {self.fields!r}>")
+
+
+class TraceBus:
+    """Typed event-trace capture for one simulation.
+
+    ``capacity=None`` keeps every event (full capture, for short
+    debugging runs); an integer keeps only the most recent ``capacity``
+    events (ring buffer — bounded memory for day-long simulations).
+    ``emit`` stamps events with the owning simulator's current time.
+    """
+
+    def __init__(self, sim, capacity: Optional[int] = None):
+        self.sim = sim
+        self.capacity = capacity
+        self._events: deque = deque(maxlen=capacity)
+        self.emitted = 0  # total ever emitted (ring may have dropped some)
+
+    def emit(self, layer: str, node: int, kind: str, /, **fields) -> None:
+        """Record one event at the current simulated time.
+
+        The first three parameters are positional-only so ``fields``
+        may itself contain keys named ``layer``, ``node`` or ``kind``
+        (e.g. a retransmit event's ``kind=rto|fast|sack`` detail).
+        """
+        self.emitted += 1
+        self._events.append(
+            TraceEvent(self.sim.now, layer, node, kind, fields)
+        )
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The retained events, oldest first."""
+        return list(self._events)
+
+    def select(
+        self,
+        layer: Optional[str] = None,
+        node: Optional[int] = None,
+        kind: Optional[str] = None,
+    ) -> List[TraceEvent]:
+        """Retained events matching every given criterion."""
+        return [
+            ev for ev in self._events
+            if (layer is None or ev.layer == layer)
+            and (node is None or ev.node == node)
+            and (kind is None or ev.kind == kind)
+        ]
+
+    def clear(self) -> None:
+        """Drop all retained events (``emitted`` keeps counting)."""
+        self._events.clear()
+
+    # ------------------------------------------------------------------
+    # export / import
+    # ------------------------------------------------------------------
+    def to_jsonl(self, path) -> int:
+        """Write retained events as JSON Lines; returns the line count."""
+        with open(path, "w") as fh:
+            for ev in self._events:
+                fh.write(json.dumps(ev.as_dict(), sort_keys=True) + "\n")
+        return len(self._events)
+
+    def to_csv(self, path) -> int:
+        """Write retained events as CSV (fields JSON-encoded in one
+        column, so arbitrary event shapes fit a fixed header)."""
+        with open(path, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["t", "layer", "node", "kind", "fields"])
+            for ev in self._events:
+                writer.writerow([
+                    repr(ev.time), ev.layer, ev.node, ev.kind,
+                    json.dumps(ev.fields, sort_keys=True),
+                ])
+        return len(self._events)
+
+
+def read_jsonl(path) -> List[TraceEvent]:
+    """Load a JSONL trace export back into TraceEvent objects."""
+    events: List[TraceEvent] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            events.append(TraceEvent(
+                rec["t"], rec["layer"], rec["node"], rec["kind"],
+                rec.get("fields") or {},
+            ))
+    return events
 
 
 def percentile(values: Iterable[float], q: float) -> float:

@@ -12,7 +12,6 @@ from repro.app.coap import (
     CoapType,
 )
 from repro.experiments.topology import CLOUD_ID, build_chain
-from repro.net.udp import UdpStack
 
 
 class TestCodec:

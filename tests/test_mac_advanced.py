@@ -1,7 +1,5 @@
 """Advanced MAC behaviours: preemption, pause, indirect overflow, deaf CSMA."""
 
-import pytest
-
 from repro.mac.frame import FrameKind
 from repro.mac.link import MacLayer, MacParams
 from repro.phy.energy import RadioState

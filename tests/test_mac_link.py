@@ -1,9 +1,7 @@
 """Link-layer behaviour: delivery, ACKs, retries, dedup, hidden terminals."""
 
-import pytest
-
 from repro.mac.link import MacLayer, MacParams
-from repro.phy.medium import Medium, UniformLoss
+from repro.phy.medium import Medium
 from repro.phy.radio import Radio
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams

@@ -1,8 +1,6 @@
 """Sleepy end device: polling, fast-poll, adaptive interval, slotting."""
 
-import pytest
-
-from repro.mac.link import MacLayer, MacParams
+from repro.mac.link import MacLayer
 from repro.mac.poll import PollParams, SleepyEndDevice
 from repro.phy.energy import RadioState
 from repro.phy.medium import Medium

@@ -6,7 +6,6 @@ from repro.experiments.topology import CLOUD_ID, build_chain, build_pair
 from repro.net.icmpv6 import (
     IcmpEcho,
     IcmpStack,
-    TYPE_ECHO_REPLY,
     TYPE_ECHO_REQUEST,
 )
 

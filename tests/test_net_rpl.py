@@ -1,13 +1,10 @@
 """RPL-lite: DODAG formation, downward routes, repair, TCP on top."""
 
-import pytest
-
 from repro.core.simplified import tcplp_params
 from repro.core.socket_api import TcpStack
 from repro.experiments.topology import build_chain, build_pair
 from repro.experiments.workload import BulkTransfer
 from repro.net.rpl import (
-    INFINITE_RANK,
     MIN_HOP_RANK_INCREASE,
     RplDao,
     RplDio,

@@ -1,7 +1,5 @@
 """End-to-end network layer tests: UDP over 6LoWPAN across hops."""
 
-import pytest
-
 from repro.experiments.topology import CLOUD_ID, build_chain, build_pair, build_testbed
 from repro.net.udp import UdpStack
 

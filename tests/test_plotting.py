@@ -1,7 +1,5 @@
 """Text-rendering utilities."""
 
-import pytest
-
 from repro.experiments.plotting import (
     render_bars,
     render_network_map,

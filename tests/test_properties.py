@@ -133,8 +133,8 @@ class TestSackProperties:
         ranges = sb.ranges
         for (l1, r1), (l2, r2) in zip(ranges, ranges[1:]):
             assert r1 < l2  # disjoint with a gap (adjacent ranges merge)
-        for l, r in ranges:
-            assert l < r
+        for lo, hi in ranges:
+            assert lo < hi
 
     @given(st.lists(
         st.tuples(st.integers(0, 1000), st.integers(1, 50)), max_size=12
@@ -144,8 +144,8 @@ class TestSackProperties:
         for left, length in raw:
             sb.update([(left, left + length)], snd_una=0)
         sb.advance(una)
-        for l, r in sb.ranges:
-            assert r > una and l >= una
+        for lo, hi in sb.ranges:
+            assert hi > una and lo >= una
 
 
 class TestCodecProperties:

@@ -3,7 +3,6 @@
 import pathlib
 import py_compile
 
-import pytest
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
 

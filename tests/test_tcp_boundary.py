@@ -6,7 +6,6 @@ from repro.core.params import TcpParams, mss_for_frames
 from repro.core.simplified import tcplp_params
 from repro.core.socket_api import TcpStack
 from repro.experiments.topology import build_pair
-from repro.sim.engine import Simulator
 
 
 def run_transfer(net, payload, params, iss=None):

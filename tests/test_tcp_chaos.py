@@ -6,7 +6,6 @@ wrote — in order, without gaps or duplicates — or the connection
 reports an error.  Silent corruption is never acceptable.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.core.connection import TcpConnection, TcpState
-from repro.core.params import TcpParams
+from repro.core.connection import TcpState
 from repro.core.segment import FLAG_ACK, FLAG_RST, FLAG_SYN, Segment
 from repro.core.simplified import (
     FEATURE_MATRIX,
@@ -14,7 +13,6 @@ from repro.core.simplified import (
 )
 from repro.core.socket_api import TcpStack
 from repro.experiments.topology import build_pair
-from repro.net.queues import RedParams
 
 
 def make_conn_pair(seed=0, params_a=None, params_b=None):

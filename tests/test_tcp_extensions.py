@@ -1,8 +1,6 @@
 """FreeBSD-heritage TCP extensions: header prediction, Nagle,
 keepalives, challenge-ACK rate limiting, bad-retransmit undo."""
 
-import pytest
-
 from repro.core.connection import TcpState
 from repro.core.segment import FLAG_RST, Segment
 from repro.core.simplified import tcplp_params

@@ -1,8 +1,6 @@
 """End-to-end TCP tests over the simulated LLN."""
 
-import pytest
-
-from repro.core.params import TcpParams, linux_like_params
+from repro.core.params import linux_like_params
 from repro.core.simplified import tcplp_params, uip_params
 from repro.core.socket_api import TcpStack
 from repro.experiments.topology import CLOUD_ID, build_chain, build_pair
@@ -85,7 +83,6 @@ def test_multihop_goodput_declines_with_hops():
     results = {}
     for hops in (1, 3):
         net = build_chain(hops, seed=5)
-        from repro.mac.link import MacParams
         for n in net.nodes.values():
             n.mac.params.retry_delay = 0.04
         src = net.nodes[hops]

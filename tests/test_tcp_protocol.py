@@ -6,11 +6,8 @@ timestamp echo, persist backoff, delayed-ACK timing, simultaneous
 open) can be pinned down segment by segment.
 """
 
-import pytest
-
 from repro.core.connection import TcpConnection, TcpState
 from repro.core.options import TcpOptions
-from repro.core.params import TcpParams
 from repro.core.segment import (
     FLAG_ACK,
     FLAG_PSH,

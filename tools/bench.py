@@ -10,19 +10,31 @@ Modes
 * default (full): several trials per scenario at full durations; the
   best trial is written to ``BENCH_kernel.json`` at the repo root.
 * ``--smoke``: short durations, compared against the checked-in
-  ``benchmarks/perf/baseline.json``.  Fails (exit 1) if any scenario's
-  events/sec regresses by more than ``--tolerance`` (default 30%), or
-  if any behavioural metric (events processed, frames delivered,
-  goodput) deviates from the baseline at all — the latter is a
-  determinism guard, independent of machine speed.
+  ``benchmarks/perf/baseline.json``.  Exit codes distinguish the two
+  failure classes: **1** if any scenario's events/sec regresses by more
+  than ``--tolerance`` (default 30%) — a perf regression; **2** if the
+  only failures are behavioural (events processed, frames delivered,
+  goodput deviating from the baseline at all) — the machine-independent
+  determinism guard, reported with a one-line diff summary so CI logs
+  show at a glance *what* drifted.
 * ``--update-baseline``: refresh ``baseline.json`` from a smoke run
   (do this once per machine, and whenever a PR intentionally changes
   simulated behaviour).
+* ``--metrics-gate``: run every scenario once at smoke durations with
+  the observability registry attached (see ``docs/observability.md``)
+  and diff the per-scenario metrics snapshots against the checked-in
+  ``benchmarks/perf/metrics_golden.json``.  Snapshots are deterministic
+  (sim-time-derived values only), so any diff is behavioural drift:
+  exit 2.  ``--metrics-out PATH`` additionally writes the snapshots.
+* ``--update-metrics-golden``: refresh ``metrics_golden.json`` (do this
+  whenever a PR intentionally changes simulated behaviour or adds
+  instrumentation).
 
 Usage::
 
-    PYTHONPATH=src python tools/bench.py            # full, writes BENCH_kernel.json
-    PYTHONPATH=src python tools/bench.py --smoke    # CI regression gate
+    PYTHONPATH=src python tools/bench.py                 # full, writes BENCH_kernel.json
+    PYTHONPATH=src python tools/bench.py --smoke         # CI perf + determinism gate
+    PYTHONPATH=src python tools/bench.py --metrics-gate  # CI metrics drift gate
 """
 
 from __future__ import annotations
@@ -36,7 +48,13 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE_PATH = REPO_ROOT / "benchmarks" / "perf" / "baseline.json"
+METRICS_GOLDEN_PATH = REPO_ROOT / "benchmarks" / "perf" / "metrics_golden.json"
 OUTPUT_PATH = REPO_ROOT / "BENCH_kernel.json"
+
+#: exit codes: perf regression vs behavioural-only drift (determinism
+#: guard / metrics gate) — CI treats them differently
+EXIT_PERF = 1
+EXIT_BEHAVIOURAL = 2
 
 sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT / "benchmarks" / "perf"))
@@ -94,32 +112,85 @@ def run_all(smoke: bool, trials: int, only=None) -> dict:
 
 
 def compare_to_baseline(results: dict, baseline: dict,
-                        tolerance: float) -> list:
-    """Returns a list of failure strings (empty = pass)."""
-    failures = []
+                        tolerance: float) -> tuple:
+    """Returns ``(behavioural, perf)`` failure-string lists.
+
+    ``behavioural`` holds determinism-guard deviations (exact-match
+    metrics that moved — machine-independent); ``perf`` holds speed
+    regressions and harness problems.  Both empty = pass.
+    """
+    behavioural = []
+    perf = []
     for name, current in results.items():
         base = baseline.get("results", {}).get(name)
         if base is None:
-            failures.append(f"{name}: not in baseline "
-                            f"(run --update-baseline)")
+            perf.append(f"{name}: not in baseline "
+                        f"(run --update-baseline)")
             continue
         # Determinism guard: behaviour must match the baseline exactly,
         # on any machine.
         for key in ("events", "frames_delivered", "goodput_kbps"):
             if current[key] != base[key]:
-                failures.append(
-                    f"{name}: {key} changed: baseline {base[key]} -> "
-                    f"{current[key]} (simulated behaviour drifted)"
+                behavioural.append(
+                    f"{name}.{key} {base[key]} -> {current[key]}"
                 )
         # Speed gate: machine-relative, so the threshold is generous.
         floor = base["events_per_sec"] * (1.0 - tolerance)
         if current["events_per_sec"] < floor:
-            failures.append(
+            perf.append(
                 f"{name}: events/sec regressed >{tolerance:.0%}: "
                 f"baseline {base['events_per_sec']} -> "
                 f"{current['events_per_sec']} (floor {floor:.0f})"
             )
-    return failures
+    return behavioural, perf
+
+
+def run_metrics_snapshots(only=None) -> dict:
+    """One instrumented smoke-duration run per scenario.
+
+    Separate from the timing runs: instrumentation costs a little, so
+    the metrics gate never shares a process-measurement with the perf
+    gate.  Returns ``{scenario: [snapshot, ...]}`` — one snapshot per
+    simulator the scenario built, in construction order.
+    """
+    from repro.sim import metrics as metrics_mod
+
+    snapshots = {}
+    for name in scenarios.SCENARIOS:
+        if only and name not in only:
+            continue
+        fn, smoke_duration, _ = scenarios.SCENARIOS[name]
+        metrics_mod.auto_attach(True)
+        try:
+            fn(duration=smoke_duration)
+        finally:
+            attached = metrics_mod.drain_attached()
+            metrics_mod.auto_attach(False)
+        snapshots[name] = [reg.snapshot() for reg, _bus in attached]
+        print(f"[{name}] metrics snapshot: "
+              f"{sum(len(s['counters']) + len(s['gauges']) + len(s['histograms']) for s in snapshots[name])} series")
+    return snapshots
+
+
+def compare_metrics_to_golden(snapshots: dict, golden: dict) -> list:
+    """Diff per-scenario snapshots against the golden file."""
+    from repro.sim.metrics import diff_snapshots
+
+    diffs = []
+    for name, snaps in snapshots.items():
+        gold = golden.get(name)
+        if gold is None:
+            diffs.append(f"{name}: not in metrics golden "
+                         f"(run --update-metrics-golden)")
+            continue
+        if len(gold) != len(snaps):
+            diffs.append(f"{name}: simulator count changed "
+                         f"{len(gold)} -> {len(snaps)}")
+            continue
+        for i, (gold_snap, snap) in enumerate(zip(gold, snaps)):
+            for line in diff_snapshots(gold_snap, snap):
+                diffs.append(f"{name}[{i}]: {line}")
+    return diffs
 
 
 def main(argv=None) -> int:
@@ -139,7 +210,43 @@ def main(argv=None) -> int:
                         help="subset of scenario names")
     parser.add_argument("-o", "--output", default=str(OUTPUT_PATH),
                         help="full-mode output path")
+    parser.add_argument("--metrics-gate", action="store_true",
+                        help="diff instrumented-run metrics snapshots "
+                             "against benchmarks/perf/metrics_golden.json "
+                             "(exit 2 on drift)")
+    parser.add_argument("--update-metrics-golden", action="store_true",
+                        help="rewrite benchmarks/perf/metrics_golden.json")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write metrics snapshots from the gate run "
+                             "to PATH (CI artifact)")
     args = parser.parse_args(argv)
+
+    if args.metrics_gate or args.update_metrics_golden:
+        snapshots = run_metrics_snapshots(only=args.only)
+        if args.metrics_out:
+            Path(args.metrics_out).write_text(
+                json.dumps(snapshots, indent=2, sort_keys=True) + "\n")
+            print(f"wrote {args.metrics_out}")
+        if args.update_metrics_golden:
+            METRICS_GOLDEN_PATH.write_text(
+                json.dumps(snapshots, indent=2, sort_keys=True) + "\n")
+            print(f"wrote {METRICS_GOLDEN_PATH}")
+            return 0
+        if not METRICS_GOLDEN_PATH.exists():
+            print(f"no metrics golden at {METRICS_GOLDEN_PATH}; "
+                  f"run tools/bench.py --update-metrics-golden",
+                  file=sys.stderr)
+            return EXIT_PERF
+        golden = json.loads(METRICS_GOLDEN_PATH.read_text())
+        diffs = compare_metrics_to_golden(snapshots, golden)
+        for diff in diffs:
+            print(f"DRIFT {diff}", file=sys.stderr)
+        if diffs:
+            print(f"metrics drift: {len(diffs)} series changed "
+                  f"(behavioural, not perf)", file=sys.stderr)
+            return EXIT_BEHAVIOURAL
+        print(f"metrics gate OK: {len(snapshots)} scenarios match golden")
+        return 0
 
     smoke = args.smoke or args.update_baseline
     trials = args.trials if args.trials is not None else (2 if smoke else 3)
@@ -159,13 +266,20 @@ def main(argv=None) -> int:
         if not BASELINE_PATH.exists():
             print(f"no baseline at {BASELINE_PATH}; "
                   f"run tools/bench.py --update-baseline", file=sys.stderr)
-            return 1
+            return EXIT_PERF
         baseline = json.loads(BASELINE_PATH.read_text())
-        failures = compare_to_baseline(results, baseline, args.tolerance)
-        for failure in failures:
+        behavioural, perf = compare_to_baseline(
+            results, baseline, args.tolerance)
+        for failure in perf:
             print(f"FAIL {failure}", file=sys.stderr)
-        if failures:
-            return 1
+        if behavioural:
+            # one line, so CI logs show at a glance what drifted
+            print(f"BEHAVIOURAL DRIFT: {'; '.join(behavioural)}",
+                  file=sys.stderr)
+        if perf:
+            return EXIT_PERF
+        if behavioural:
+            return EXIT_BEHAVIOURAL
         print(f"smoke OK: {len(results)} scenarios within "
               f"{args.tolerance:.0%} of baseline")
         return 0
