@@ -19,6 +19,12 @@ The scenarios deliberately cover the distinct hot paths:
   periodic timers, indirect queues, radio state churn.
 * ``loss_sweep`` — Figure 9-style ambient loss on one hop: loss-model
   RNG draws on every delivery plus TCP retransmission machinery.
+* ``chaos_faults`` — the ``repro.faults`` chaos gate: Gilbert–Elliott
+  bursty loss, link flapping, a relay crash-and-reboot, frame
+  corruption and sender clock drift on a 2-hop chain.  Gates both the
+  injector's determinism (``fault_events`` is exact-matched across
+  trials and against the baseline) and TCP's behaviour under compound
+  faults.
 """
 
 from __future__ import annotations
@@ -130,10 +136,54 @@ def loss_sweep(duration: float = 40.0, seed: int = 1,
     }
 
 
+def chaos_faults(duration: float = 40.0, seed: int = 7) -> Dict:
+    """Compound fault schedule on a 2-hop chain (docs/faults.md).
+
+    The relay (node 1) crashes mid-transfer and cold-restarts 3 s
+    later; both endpoints keep their TCP state, so the connection must
+    back off, survive the outage, and resume.  The sender's timestamp
+    clock starts just below the 32-bit wrap, exercising the ``ts_ecr
+    == 0`` echo path the PR 3 bugfixes cover.
+    """
+    from repro.faults import FaultInjector, FaultSchedule
+
+    net = build_chain(2, seed=seed, with_cloud=False)
+    for n in net.nodes.values():
+        n.mac.params.retry_delay = 0.04
+    schedule = FaultSchedule.from_dict({
+        "name": "bench-chaos",
+        "faults": [
+            {"kind": "bursty_loss", "p_good_bad": 0.03, "p_bad_good": 0.3},
+            {"kind": "frame_corruption", "rate": 0.01},
+            {"kind": "link_flap", "a": 0, "b": 1, "at": 12.0,
+             "down_for": 1.5, "repeat_every": 10.0, "count": 2},
+            {"kind": "node_reboot", "node": 1, "at": 25.0, "outage": 3.0},
+            {"kind": "clock_drift", "node": 2, "skew": 1.0005,
+             "offset_ms": 4294965296},
+        ],
+    })
+    injector = FaultInjector(net, schedule).arm()
+    params = tcplp_params(window_segments=4)
+    src, dst = _stack(net, 2), _stack(net, 0)
+    xfer = BulkTransfer(net.sim, src, dst, receiver_id=0, params=params,
+                        receiver_params=params)
+    t0 = time.perf_counter()
+    res = xfer.measure(5.0, duration)
+    wall = time.perf_counter() - t0
+    return {
+        "events": net.sim.events_processed,
+        "wall_s": wall,
+        "goodput_kbps": round(res.goodput_kbps, 2),
+        "frames_delivered": net.medium.frames_delivered,
+        "fault_events": len(injector.events),
+    }
+
+
 #: scenario name -> (callable, smoke-mode duration, full-mode duration)
 SCENARIOS = {
     "one_hop_bulk": (one_hop_bulk, 20.0, 60.0),
     "three_hop_hidden": (three_hop_hidden, 20.0, 60.0),
     "duty_cycled_polling": (duty_cycled_polling, 30.0, 60.0),
     "loss_sweep": (loss_sweep, 15.0, 40.0),
+    "chaos_faults": (chaos_faults, 40.0, 60.0),
 }

@@ -100,6 +100,10 @@ class TcpConnection:
         self.trace = trace or TraceRecorder()
         self.cpu = cpu
         self.on_cleanup = on_cleanup
+        #: optional per-node timestamp clock (sim-seconds -> 32-bit ms);
+        #: fault injection installs a skewed clock on the network layer
+        self.ts_clock: Optional[Callable[[float], int]] = getattr(
+            network, "ts_clock", None)
 
         p = self.params
         self.state = TcpState.CLOSED
@@ -241,6 +245,8 @@ class TcpConnection:
             self.cpu.charge(self.params.cpu_per_segment)
 
     def _now_ts(self) -> int:
+        if self.ts_clock is not None:
+            return self.ts_clock(self.sim.now)
         return int(self.sim.now * 1000) & 0xFFFFFFFF
 
     def flight_size(self) -> int:
@@ -882,7 +888,10 @@ class TcpConnection:
         # congestion response is undone (paper footnote 8).
         if self._badrexmit is not None:
             echo = seg.options.ts_ecr if seg.options.has_timestamps else None
-            if echo and ((self._badrexmit["ts"] - echo) & 0xFFFFFFFF) < (1 << 28) \
+            # Presence check, not truthiness: a legitimate echo of 0 at
+            # the 32-bit timestamp wrap must still trigger the undo.
+            if echo is not None \
+                    and ((self._badrexmit["ts"] - echo) & 0xFFFFFFFF) < (1 << 28) \
                     and echo != self._badrexmit["ts"]:
                 self.trace.counters.incr("tcp.bad_retransmits_undone")
                 self.cc.cwnd = self._badrexmit["cwnd"]
@@ -931,7 +940,12 @@ class TcpConnection:
         if not self.params.rtt_estimation:
             return
         sample: Optional[float] = None
-        if self.ts_enabled and seg.options.has_timestamps and seg.options.ts_ecr:
+        # Presence check, not truthiness: ts_ecr == 0 is a legitimate
+        # echo when the peer's timestamp clock wraps at 2**32 ms, and
+        # treating it as absent silently disables timestamp RTT
+        # sampling (the wrap-aware delta below already handles it).
+        if (self.ts_enabled and seg.options.has_timestamps
+                and seg.options.ts_ecr is not None):
             now_ms = self._now_ts()
             delta_ms = (now_ms - seg.options.ts_ecr) & 0xFFFFFFFF
             if delta_ms < 1 << 28:  # sane echo

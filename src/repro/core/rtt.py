@@ -73,3 +73,5 @@ class RttEstimator:
         route change)."""
         self.srtt = None
         self.rttvar = 0.0
+        self.samples = 0
+        self.last_sample = None

@@ -74,6 +74,9 @@ class TcpStack:
         self._iss = 1000
         self._awaiting: set = set()
         network.register(PROTO_TCP, self._on_packet)
+        stacks = getattr(network, "tcp_stacks", None)
+        if stacks is not None:
+            stacks.append(self)
 
     # ------------------------------------------------------------------
     # public API
@@ -111,6 +114,28 @@ class TcpStack:
     def active_connections(self) -> int:
         """Number of live connections (tests and memory accounting)."""
         return len(self._connections)
+
+    def crash(self) -> None:
+        """Drop all connection state without notifying anyone.
+
+        Models a node losing power: no FIN, no RST, no user callbacks —
+        the peer discovers the loss through its own retransmission
+        timeouts.  Listeners survive in the sense that a rebooted node
+        would re-register them; here the stack object itself persists,
+        so existing listeners keep accepting after the reboot.
+        """
+        for conn in list(self._connections.values()):
+            conn.on_close = None
+            conn.on_error = None
+            conn.on_data = None
+            conn.on_connect = None
+            conn.on_send_space = None
+            conn.on_awaiting_ack = None
+            conn._teardown(None)
+        self._connections.clear()
+        self._awaiting.clear()
+        if self.sleepy is not None:
+            self.sleepy.set_fast_poll(False)
 
     # ------------------------------------------------------------------
     # internals

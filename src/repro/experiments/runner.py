@@ -135,25 +135,32 @@ def _strip_rtt_samples(rows):
 
 
 def _run_one(
-    name: str, quick: bool, metrics: bool = False
-) -> Tuple[str, object, float, bool, object]:
+    name: str, quick: bool, metrics: bool = False, fault_spec=None
+) -> Tuple[str, object, float, bool, object, object]:
     """Run one experiment; never raises.
 
     Module-level (not a closure) so a multiprocessing pool can dispatch
     it: the registry holds lambdas, which cannot be pickled, so each
     worker rebuilds the registry from ``(name, quick)`` instead.
-    Returns ``(name, result-or-error-dict, wall_seconds, ok, snaps)`` —
-    the ``ok`` flag is the structural success signal, so callers never
-    have to sniff result dicts for an ``"error"`` key.  ``snaps`` is a
-    list of metrics snapshots (one per simulator the experiment built)
-    when ``metrics`` is set, else ``None``; auto-attach is enabled
-    inside the worker, so it works identically under a process pool.
+    Returns ``(name, result-or-error-dict, wall_seconds, ok, snaps,
+    fault_summaries)`` — the ``ok`` flag is the structural success
+    signal, so callers never have to sniff result dicts for an
+    ``"error"`` key.  ``snaps`` is a list of metrics snapshots (one per
+    simulator the experiment built) when ``metrics`` is set, else
+    ``None``; auto-attach is enabled inside the worker, so it works
+    identically under a process pool.  ``fault_spec`` (a validated
+    schedule dict) is auto-injected into every network the experiment
+    builds; ``fault_summaries`` lists each armed injector's per-kind
+    injection counts (None when no spec was given).
     """
+    from repro import faults as faults_mod
     from repro.sim import metrics as metrics_mod
 
     start = time.perf_counter()
     if metrics:
         metrics_mod.auto_attach(True)
+    if fault_spec is not None:
+        faults_mod.auto_inject(fault_spec)
     try:
         result = experiment_registry(quick)[name]()
         ok = True
@@ -167,7 +174,14 @@ def _run_one(
             for registry, _bus in metrics_mod.drain_attached()
         ]
         metrics_mod.auto_attach(False)
-    return name, result, time.perf_counter() - start, ok, snaps
+    fault_summaries = None
+    if fault_spec is not None:
+        fault_summaries = [
+            inj.summary() for inj in faults_mod.drain_auto()
+        ]
+        faults_mod.auto_inject(None)
+    return (name, result, time.perf_counter() - start, ok, snaps,
+            fault_summaries)
 
 
 def run_all_detailed(
@@ -176,6 +190,7 @@ def run_all_detailed(
     progress=print,
     jobs: int = 1,
     collect_metrics: bool = False,
+    fault_spec=None,
 ) -> Tuple[Dict, Dict]:
     """Run the registry; returns ``(results, meta)``.
 
@@ -187,7 +202,11 @@ def run_all_detailed(
     with the observability registry attached and ``meta`` additionally
     carries ``metrics_snapshots``: ``{experiment: [snapshot, ...]}``
     (one snapshot per simulator the experiment built, in construction
-    order — deterministic, so diffable across runs).
+    order — deterministic, so diffable across runs).  With
+    ``fault_spec`` (a validated schedule dict, e.g. from ``--faults
+    spec.json``), every network each experiment builds gets the
+    schedule injected, and ``meta`` carries ``fault_injections``:
+    ``{experiment: [per-injector kind counts, ...]}``.
     """
     registry_names = list(experiment_registry(quick))
     if only:
@@ -203,28 +222,32 @@ def run_all_detailed(
     collected: Dict[str, object] = {}
     wall_times: Dict[str, float] = {}
     snapshots: Dict[str, object] = {}
+    fault_counts: Dict[str, object] = {}
     errors: List[str] = []
     t0 = time.perf_counter()
     if jobs > 1 and len(names) > 1:
         worker = functools.partial(_run_one, quick=quick,
-                                   metrics=collect_metrics)
+                                   metrics=collect_metrics,
+                                   fault_spec=fault_spec)
         with multiprocessing.Pool(processes=min(jobs, len(names))) as pool:
-            for name, result, wall, ok, snaps in pool.imap_unordered(
+            for name, result, wall, ok, snaps, fsum in pool.imap_unordered(
                     worker, names):
                 collected[name] = result
                 wall_times[name] = wall
                 snapshots[name] = snaps
+                fault_counts[name] = fsum
                 if not ok:
                     errors.append(name)
                 progress(f"[{name}] done in {wall:.1f}s")
     else:
         for name in names:
             progress(f"[{name}] running ...")
-            _, result, wall, ok, snaps = _run_one(
-                name, quick, metrics=collect_metrics)
+            _, result, wall, ok, snaps, fsum = _run_one(
+                name, quick, metrics=collect_metrics, fault_spec=fault_spec)
             collected[name] = result
             wall_times[name] = wall
             snapshots[name] = snaps
+            fault_counts[name] = fsum
             if not ok:
                 errors.append(name)
             progress(f"[{name}] done in {wall:.1f}s")
@@ -238,6 +261,8 @@ def run_all_detailed(
     }
     if collect_metrics:
         meta["metrics_snapshots"] = {name: snapshots[name] for name in names}
+    if fault_spec is not None:
+        meta["fault_injections"] = {name: fault_counts[name] for name in names}
     return results, meta
 
 
@@ -265,13 +290,27 @@ def main(argv=None) -> int:
                              "attached and write per-experiment metrics "
                              "snapshots to PATH (see "
                              "docs/observability.md)")
+    parser.add_argument("--faults", default=None, metavar="SPEC.json",
+                        help="inject the fault schedule in SPEC.json into "
+                             "every experiment's network (see "
+                             "docs/faults.md); per-experiment injection "
+                             "counts land in the output's _meta section")
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    fault_spec = None
+    if args.faults is not None:
+        from repro.faults import FaultSchedule
+
+        try:
+            fault_spec = FaultSchedule.from_json(args.faults).to_dict()
+        except (OSError, ValueError) as exc:
+            parser.error(f"--faults {args.faults}: {exc}")
     try:
         results, meta = run_all_detailed(
             quick=args.quick, only=args.only, jobs=args.jobs,
-            collect_metrics=args.metrics_out is not None)
+            collect_metrics=args.metrics_out is not None,
+            fault_spec=fault_spec)
     except ValueError as exc:  # e.g. a typo'd --only name
         parser.error(str(exc))
     if args.metrics_out is not None:

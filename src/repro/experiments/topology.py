@@ -19,6 +19,7 @@ import copy
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import faults as _faults
 from repro.net.node import Node, NodeConfig
 from repro.net.routing import MeshRouting, StaticRouting
 from repro.net.wired import CloudHost, WiredLink
@@ -43,6 +44,8 @@ class Network:
     wired: Optional[WiredLink] = None
     border_id: int = 0
     leaf_ids: List[int] = field(default_factory=list)
+    #: FaultInjector armed via repro.faults.auto_inject (None otherwise)
+    faults: Optional[object] = None
 
     def node(self, node_id: int) -> Node:
         """Convenience accessor."""
@@ -78,7 +81,9 @@ def build_pair(
                 _clone_config(node_config))
         for i in (0, 1)
     }
-    return Network(sim, rng, medium, nodes, routing)
+    net = Network(sim, rng, medium, nodes, routing)
+    net.faults = _faults.maybe_attach(net)
+    return net
 
 
 def _attach_cloud(
@@ -142,6 +147,7 @@ def build_chain(
     net = Network(sim, rng, medium, nodes, routing, border_id=0)
     if with_cloud:
         _attach_cloud(net, nodes[0], wired_loss=wired_loss)
+    net.faults = _faults.maybe_attach(net)
     return net
 
 
@@ -201,4 +207,5 @@ def build_testbed(
             parent = routing.parent_of(leaf)
             nodes[leaf].make_sleepy(nodes[parent], poll=leaf_poll)
     _attach_cloud(net, nodes[1], wired_loss=wired_loss)
+    net.faults = _faults.maybe_attach(net)
     return net

@@ -1,0 +1,179 @@
+"""Stochastic fault models: bursty loss, frame corruption, clock skew.
+
+All models draw from named :class:`repro.sim.rng.RngStreams` streams,
+so a fault-injected run is byte-reproducible from its seed, and
+injecting faults never perturbs the RNG consumption of other
+subsystems (CSMA backoff, retry jitter, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.sim.rng import RngStreams
+
+
+class GilbertElliottLoss:
+    """Two-state Markov (Gilbert–Elliott) bursty frame loss.
+
+    Each directed link carries its own good/bad state.  Per observed
+    frame the state first transitions (good→bad with ``p_good_bad``,
+    bad→good with ``p_bad_good``), then the frame is dropped with the
+    new state's loss rate (``loss_good``/``loss_bad``; the classic
+    Gilbert model is ``0.0``/``1.0``).  Mean burst length is
+    ``1/p_bad_good`` frames; stationary loss is
+    ``π_bad·loss_bad + π_good·loss_good`` with
+    ``π_bad = p_good_bad / (p_good_bad + p_bad_good)``.
+
+    At the degenerate point ``p_good_bad = rate``,
+    ``p_bad_good = 1 - rate`` the next state is bad with probability
+    ``rate`` regardless of the current state, so the model collapses to
+    i.i.d. Bernoulli(rate) — the acceptance test pins this against
+    :class:`repro.phy.medium.UniformLoss`.
+
+    Plugs into ``Medium.loss_models``.  An optional ``[at, until)``
+    window gates the model in time (no RNG draws outside the window).
+    """
+
+    def __init__(
+        self,
+        p_good_bad: float,
+        p_bad_good: float,
+        rng: RngStreams,
+        loss_good: float = 0.0,
+        loss_bad: float = 1.0,
+        link: Optional[Tuple[int, int]] = None,
+        stream: str = "fault-ge",
+        at: float = 0.0,
+        until: Optional[float] = None,
+    ):
+        for label, p in (("p_good_bad", p_good_bad), ("p_bad_good", p_bad_good),
+                         ("loss_good", loss_good), ("loss_bad", loss_bad)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{label} must be in [0, 1], got {p}")
+        self.p_good_bad = p_good_bad
+        self.p_bad_good = p_bad_good
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self.rng = rng
+        self.link = link
+        self.stream = stream
+        self.at = at
+        self.until = until
+        #: (sender, receiver) -> True while the link is in the bad state
+        self._bad: Dict[Tuple[int, int], bool] = {}
+        self.drops = 0
+
+    def stationary_loss_rate(self) -> float:
+        """Long-run average loss rate implied by the parameters."""
+        denom = self.p_good_bad + self.p_bad_good
+        if denom == 0.0:
+            return self.loss_good  # never leaves the good state
+        pi_bad = self.p_good_bad / denom
+        return pi_bad * self.loss_bad + (1.0 - pi_bad) * self.loss_good
+
+    def __call__(self, sender: int, receiver: int, now: float) -> bool:
+        if self.link is not None and (sender, receiver) != self.link:
+            return False
+        if now < self.at or (self.until is not None and now >= self.until):
+            return False
+        key = (sender, receiver)
+        bad = self._bad.get(key, False)
+        u = self.rng.random(self.stream)
+        if bad:
+            if u < self.p_bad_good:
+                bad = False
+        else:
+            if u < self.p_good_bad:
+                bad = True
+        self._bad[key] = bad
+        rate = self.loss_bad if bad else self.loss_good
+        if rate >= 1.0:
+            self.drops += 1
+            return True
+        if rate <= 0.0:
+            return False
+        if self.rng.random(self.stream) < rate:
+            self.drops += 1
+            return True
+        return False
+
+
+class FrameCorruption:
+    """Random frame corruption/truncation at the PHY.
+
+    A corrupted frame fails its FCS at the receiver and is discarded —
+    indistinguishable from a loss at the MAC, but logged distinctly so
+    chaos runs can attribute drops.  A fraction ``truncate_rate`` of
+    corruptions are labelled truncations (frame cut short mid-air, the
+    failure mode a crashing transmitter produces); the rest are bit
+    errors.  Plugs into ``Medium.frame_filters``.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        rng: RngStreams,
+        truncate_rate: float = 0.5,
+        link: Optional[Tuple[int, int]] = None,
+        stream: str = "fault-corrupt",
+        at: float = 0.0,
+        until: Optional[float] = None,
+        on_corrupt: Optional[Callable[[int, int, str], None]] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"corruption rate must be in [0, 1], got {rate}")
+        if not 0.0 <= truncate_rate <= 1.0:
+            raise ValueError(
+                f"truncate_rate must be in [0, 1], got {truncate_rate}")
+        self.rate = rate
+        self.truncate_rate = truncate_rate
+        self.rng = rng
+        self.link = link
+        self.stream = stream
+        self.at = at
+        self.until = until
+        #: (sender, receiver, "truncate"|"bit_error") per corruption;
+        #: wired by the injector to log a fault event
+        self.on_corrupt = on_corrupt
+        #: frame filters receive no timestamp, so the time gate needs
+        #: its own clock; the injector wires ``lambda: sim.now``
+        self.clock = clock
+        self.corrupted = 0
+
+    def __call__(self, frame: object, sender: int, receiver: int) -> bool:
+        if self.link is not None and (sender, receiver) != self.link:
+            return False
+        t = self.clock() if self.clock is not None else 0.0
+        if t < self.at or (self.until is not None and t >= self.until):
+            return False
+        u = self.rng.random(self.stream)
+        if u >= self.rate:
+            return False
+        self.corrupted += 1
+        # Reuse the same draw to classify: u is uniform on [0, rate).
+        kind = "truncate" if u < self.rate * self.truncate_rate else "bit_error"
+        if self.on_corrupt is not None:
+            self.on_corrupt(sender, receiver, kind)
+        return True
+
+
+class SkewedClock:
+    """A drifting/offset TCP timestamp clock (sim-seconds → 32-bit ms).
+
+    ``skew`` is the frequency ratio (1.0001 ≈ +100 ppm), ``offset_ms``
+    an initial phase — set it near ``2**32`` to force the timestamp
+    wrap that the PR 3 ``ts_ecr`` bugfixes exercise.  Installed as
+    ``Ipv6Layer.ts_clock``; TCP connections pick it up at construction
+    (:meth:`repro.core.connection.TcpConnection._now_ts`).
+    """
+
+    def __init__(self, skew: float = 1.0, offset_ms: int = 0):
+        if skew <= 0.0:
+            raise ValueError(f"clock skew must be positive, got {skew}")
+        self.skew = skew
+        self.offset_ms = offset_ms
+
+    def __call__(self, now: float) -> int:
+        return (int(now * 1000.0 * self.skew) + self.offset_ms) & 0xFFFFFFFF

@@ -212,6 +212,13 @@ class Reassembler:
         """Number of incomplete datagrams buffered."""
         return len(self._partials)
 
+    def clear(self) -> None:
+        """Discard all partial datagrams and their GC timers (node crash)."""
+        for part in self._partials.values():
+            if part.timer is not None:
+                part.timer.stop()
+        self._partials.clear()
+
     def _expire(self, key: Tuple[int, int]) -> None:
         if key in self._partials:
             del self._partials[key]

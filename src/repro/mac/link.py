@@ -207,6 +207,27 @@ class MacLayer:
         self.sleepy_children.add(child)
         self._indirect.setdefault(child, deque())
 
+    def reset(self) -> None:
+        """Drop all volatile MAC state (node crash).
+
+        Queued frames vanish without firing their ``on_done`` callbacks
+        — the layers above are being wiped too, so nobody is listening.
+        The in-flight op is orphaned by clearing ``_current``; its
+        already-scheduled CSMA/ACK callbacks check ``op is not
+        self._current`` and become no-ops.  The dedup table is cleared
+        as well: a cold-started MAC has no memory of past sequence
+        numbers.
+        """
+        if self._ack_timer_event is not None:
+            self._ack_timer_event.cancel()
+            self._ack_timer_event = None
+        self._current = None
+        self._queue.clear()
+        for q in self._indirect.values():
+            q.clear()
+        self._dedup.clear()
+        self._seq = 0
+
     # ------------------------------------------------------------------
     # transmit state machine
     # ------------------------------------------------------------------
@@ -411,6 +432,8 @@ class MacLayer:
         self.sim.schedule(self.radio.params.turnaround_time, self._ack_fire, ack)
 
     def _ack_fire(self, ack: Frame) -> None:
+        if not self.radio.powered:
+            return  # node crashed between receiving the frame and ACKing
         if self.radio._tx_busy:
             self.trace.counters.incr("mac.ack_suppressed")
             return  # half-duplex: cannot ACK while transmitting

@@ -115,6 +115,24 @@ class SleepyEndDevice:
         """Upper layer queued upstream data; wake the radio to send it."""
         self.mac.radio.listen()
 
+    def halt(self) -> None:
+        """Stop all polling activity (node crash): timers off, state
+        cleared.  The device neither polls nor listens until
+        :meth:`restart`."""
+        self._poll_timer.stop()
+        self._window_timer.stop()
+        self._fast_poll = False
+        self._awaiting_poll_ack = False
+        self._listening_for_data = False
+
+    def restart(self) -> None:
+        """Cold-start the polling loop after a reboot."""
+        self._interval = (
+            self.params.smin if self.params.adaptive else self.params.poll_interval
+        )
+        self._poll_timer.start(self._current_interval())
+        self._maybe_sleep()
+
     @property
     def sleep_interval(self) -> float:
         """The interval currently in force."""

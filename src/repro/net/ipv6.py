@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.lowpan.iphc import (
     PROTO_TCP,  # noqa: F401  (re-exported: repro.net's canonical home)
@@ -134,6 +134,11 @@ class Ipv6Layer:
         self._forward_busy = False
         #: optional hook observing every packet sent (loss injection, tests)
         self.pre_route_hook: Optional[Callable[[Ipv6Packet], bool]] = None
+        #: optional skewed timestamp clock (sim-seconds -> 32-bit ms);
+        #: picked up by TCP connections built over this layer
+        self.ts_clock: Optional[Callable[[float], int]] = None
+        #: TCP stacks bound to this layer (fault injection crashes them)
+        self.tcp_stacks: List[object] = []
         self._bus = getattr(sim, "trace_bus", None)
         metrics = getattr(sim, "metrics", None)
         if metrics is not None:

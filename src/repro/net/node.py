@@ -133,6 +133,43 @@ class Node:
         link.connect(self.node_id, self.ipv6.deliver)
 
     # ------------------------------------------------------------------
+    # fault injection: crash and reboot
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Power-fail this node: radio off, volatile state wiped.
+
+        Everything a real mote keeps in RAM disappears — the MAC queue
+        and dedup table, partial 6LoWPAN reassemblies, the forwarding
+        queue, and every TCP connection (no FIN/RST is sent; peers must
+        discover the loss via their own timers).  The object graph
+        itself survives so :meth:`reboot` can cold-start the same node.
+        """
+        self.radio.power_off()
+        self.mac.reset()
+        self.mac.paused = True  # nothing transmits until reboot
+        if self.sleepy is not None:
+            self.sleepy.halt()
+        self.adaptation.reassembler.clear()
+        self.adaptation._forward_tags.clear()
+        if self.ipv6.forward_queue is not None:
+            while self.ipv6.forward_queue.dequeue() is not None:
+                pass
+        self.ipv6._forward_busy = False
+        for stack in list(self.ipv6.tcp_stacks):
+            stack.crash()
+
+    def reboot(self) -> None:
+        """Cold-start after :meth:`crash`: radio on, MAC unblocked,
+        sleepy polling restarted.  TCP connections are *not* restored —
+        applications must reconnect, exactly as on real hardware."""
+        self.radio.power_on()
+        self.mac.paused = False
+        if self.sleepy is not None:
+            self.sleepy.restart()
+        else:
+            self.mac._kick()
+
+    # ------------------------------------------------------------------
     # metrics
     # ------------------------------------------------------------------
     def radio_duty_cycle(self) -> float:

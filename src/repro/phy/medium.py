@@ -57,8 +57,8 @@ class UniformLoss:
         link: Optional[Tuple[int, int]] = None,
         stream: str = "frame-loss",
     ):
-        if not 0.0 <= rate < 1.0:
-            raise ValueError("loss rate must be in [0, 1)")
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("loss rate must be in [0, 1]")
         self.rate = rate
         self.rng = rng
         self.link = link
@@ -201,6 +201,25 @@ class Medium:
         self._blocked_links.add((a, b))
         self._blocked_links.add((b, a))
         self._invalidate_cache()
+
+    def unblock_link(self, a: int, b: int) -> None:
+        """Undo a previous :meth:`block_link` (no-op if not blocked)."""
+        self._blocked_links.discard((a, b))
+        self._blocked_links.discard((b, a))
+        self._invalidate_cache()
+
+    def drop_in_flight(self, node_id: int) -> None:
+        """Spoil every in-flight frame transmitted by ``node_id``.
+
+        Used by fault injection when a node's radio powers off
+        mid-transmission: the truncated frame is unreceivable at every
+        listener (FCS failure), but the transmission object stays on
+        the channel so overlap/collision accounting remains correct
+        until its scheduled end time.
+        """
+        for tx in self._active:
+            if tx.sender.node_id == node_id:
+                tx.spoiled.update(self.radios)
 
     def distance(self, a: int, b: int) -> float:
         """Euclidean distance between two registered nodes."""

@@ -54,6 +54,9 @@ class Radio:
         self._listen_since: float = sim.now
         self._tx_busy = False
         self._load_busy = False
+        #: False while the node is crashed (fault injection); scheduled
+        #: radio callbacks check this so in-flight work evaporates
+        self.powered = True
         self.frames_sent = 0
         self.frames_received = 0
         medium.register(self, position)
@@ -89,14 +92,43 @@ class Radio:
     def state(self) -> RadioState:
         return self.energy.state
 
+    def power_off(self) -> None:
+        """Cut power (node crash): abort any load/transmit in progress.
+
+        A frame already on the air is truncated — the medium spoils it
+        so no receiver gets a clean copy.  The energy ledger moves to
+        SLEEP (a dead radio draws nothing; SLEEP is the closest state
+        the ledger models).
+        """
+        if not self.powered:
+            return
+        self.powered = False
+        self._tx_busy = False
+        self._load_busy = False
+        self.medium.drop_in_flight(self.node_id)
+        if self.energy.state is not RadioState.SLEEP:
+            self.energy.transition(RadioState.SLEEP)
+
+    def power_on(self) -> None:
+        """Restore power (node reboot): cold-start into LISTEN."""
+        if self.powered:
+            return
+        self.powered = True
+        self.energy.transition(RadioState.LISTEN)
+        self._listen_since = self.sim.now
+
     def listen(self) -> None:
         """Enter RX mode; the radio can now hear frames."""
+        if not self.powered:
+            return
         if self.energy.state is not RadioState.LISTEN:
             self.energy.transition(RadioState.LISTEN)
             self._listen_since = self.sim.now
 
     def sleep(self) -> None:
         """Enter the low-power sleep state (cannot hear frames)."""
+        if not self.powered:
+            return
         if self._tx_busy:
             raise RuntimeError("cannot sleep while transmitting")
         if self.state is not RadioState.SLEEP:
@@ -104,6 +136,8 @@ class Radio:
 
     def go_deaf(self) -> None:
         """Enter the hardware-CSMA backoff state: awake but not receiving."""
+        if not self.powered:
+            return
         if self.state is not RadioState.DEAF:
             self.energy.transition(RadioState.DEAF)
 
@@ -132,6 +166,8 @@ class Radio:
         ``on_done(*args)`` fires when the load completes; passing args
         through lets the MAC avoid a per-frame closure allocation.
         """
+        if not self.powered:
+            raise RuntimeError(f"node {self.node_id}: SPI load while powered off")
         if self._load_busy:
             raise RuntimeError(f"node {self.node_id}: SPI load while loading")
         self._validate_size(frame_bytes)
@@ -141,6 +177,8 @@ class Radio:
         self.sim.schedule(spi, self._finish_load, on_done, args)
 
     def _finish_load(self, on_done: Callable[..., None], args: tuple = ()) -> None:
+        if not self.powered:
+            return  # crashed mid-load; the buffer is gone
         self._load_busy = False
         on_done(*args)
 
@@ -158,6 +196,8 @@ class Radio:
         no frame upload) and for frames already uploaded via ``load``.
         ``on_done(*args)`` fires when the frame leaves the air.
         """
+        if not self.powered:
+            raise RuntimeError(f"node {self.node_id}: transmit while powered off")
         if self._tx_busy:
             raise RuntimeError(f"node {self.node_id}: transmit while busy")
         self._validate_size(frame_bytes)
@@ -184,6 +224,8 @@ class Radio:
 
     def _start_air(self, frame: object, frame_bytes: int,
                    on_done: Callable[..., None], args: tuple = ()) -> None:
+        if not self.powered:
+            return  # crashed between SPI load and air phase
         # Inlined EnergyLedger.transition(TX) — two transitions per frame
         # on the air makes the call overhead itself measurable.
         energy = self.energy
@@ -196,6 +238,8 @@ class Radio:
         self.sim.schedule(air, self._end_air, on_done, args)
 
     def _end_air(self, on_done: Callable[..., None], args: tuple = ()) -> None:
+        if not self.powered:
+            return  # crashed mid-air; the frame was spoiled on the medium
         self._tx_busy = False
         self.frames_sent += 1
         # Return to listening (inlined transition, see _start_air); the
@@ -213,6 +257,8 @@ class Radio:
     # ------------------------------------------------------------------
     def deliver(self, frame: object, sender_id: int) -> None:
         """A clean frame arrived; charge the SPI read-out and pass it up."""
+        if not self.powered:
+            return
         self.frames_received += 1
         size = getattr(frame, "byte_size", 32)
         self.cpu._busy += (self._air_base + size * self._air_per_byte) * self._spi_factor

@@ -314,3 +314,12 @@ class Simulator:
     def pending_count(self) -> int:
         """Number of non-cancelled events still queued (O(n); for tests)."""
         return sum(1 for entry in self._queue if not entry[2].cancelled)
+
+    def pending_events(self) -> List[Event]:
+        """The non-cancelled events still queued, in heap order (O(n)).
+
+        For post-run invariant checks (e.g. "no TCP timer left armed
+        after teardown"): a ``Timer``'s event wraps its bound ``_fire``
+        method, so ``ev.fn.__self__`` recovers the owning timer.
+        """
+        return [entry[2] for entry in self._queue if not entry[2].cancelled]

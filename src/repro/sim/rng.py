@@ -45,3 +45,11 @@ class RngStreams:
     def randint(self, name: str, a: int, b: int) -> int:
         """Draw an integer in [a, b] from the named stream."""
         return self.stream(name).randint(a, b)
+
+    def choice(self, name: str, seq):
+        """Pick one element of ``seq`` from the named stream."""
+        return self.stream(name).choice(seq)
+
+    def expovariate(self, name: str, lam: float) -> float:
+        """Draw an exponential variate with rate ``lam`` (mean 1/lam)."""
+        return self.stream(name).expovariate(lam)

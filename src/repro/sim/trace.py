@@ -227,6 +227,21 @@ class TraceBus:
         return len(self._events)
 
 
+def write_jsonl(events, path) -> int:
+    """Write an iterable of :class:`TraceEvent` as JSON Lines.
+
+    Module-level counterpart of :meth:`TraceBus.to_jsonl` for code that
+    keeps its own event list (e.g. the fault injector's log, which must
+    exist even when no bus is attached); returns the line count.
+    """
+    count = 0
+    with open(path, "w") as fh:
+        for ev in events:
+            fh.write(json.dumps(ev.as_dict(), sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
 def read_jsonl(path) -> List[TraceEvent]:
     """Load a JSONL trace export back into TraceEvent objects."""
     events: List[TraceEvent] = []

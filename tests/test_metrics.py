@@ -346,7 +346,8 @@ class TestBenchClassification:
             (REPO_ROOT / "benchmarks" / "perf"
              / "metrics_golden.json").read_text())
         assert set(golden) == {"one_hop_bulk", "three_hop_hidden",
-                               "duty_cycled_polling", "loss_sweep"}
+                               "duty_cycled_polling", "loss_sweep",
+                               "chaos_faults"}
         for snaps in golden.values():
             for snap in snaps:
                 assert set(snap) == {"counters", "gauges", "histograms"}

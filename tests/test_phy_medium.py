@@ -157,6 +157,17 @@ def test_uniform_loss_link_scoped():
 def test_uniform_loss_validates_rate():
     with pytest.raises(ValueError):
         UniformLoss(1.5, RngStreams(0))
+    with pytest.raises(ValueError):
+        UniformLoss(-0.01, RngStreams(0))
+
+
+def test_uniform_loss_accepts_closed_interval_boundaries():
+    """rate is valid on the closed [0, 1]: 1.0 drops every frame,
+    0.0 drops none (regression: 1.0 used to be rejected)."""
+    always = UniformLoss(1.0, RngStreams(0))
+    never = UniformLoss(0.0, RngStreams(0))
+    assert all(always(0, 1, 0.0) for _ in range(50))
+    assert not any(never(0, 1, 0.0) for _ in range(50))
 
 
 def test_duplicate_registration_rejected():

@@ -220,6 +220,20 @@ class TestRtt:
         with pytest.raises(ValueError):
             RttEstimator().update(-1)
 
+    def test_reset_forgets_everything(self):
+        rtt = RttEstimator()
+        rtt.update(0.3)
+        rtt.update(0.5)
+        rtt.reset()
+        assert rtt.srtt is None
+        assert rtt.rttvar == 0.0
+        assert rtt.samples == 0
+        assert rtt.last_sample is None
+        # a post-reset sample seeds the estimator like the very first one
+        rtt.update(0.2)
+        assert rtt.srtt == pytest.approx(0.2)
+        assert rtt.samples == 1
+
 
 # ----------------------------------------------------------------------
 # congestion control
@@ -334,3 +348,79 @@ class TestScoreboard:
         sb = SackScoreboard()
         sb.update([(200, 100)], snd_una=0)
         assert sb.ranges == []
+
+
+# ----------------------------------------------------------------------
+# timestamp-echo regressions (PR 3): ts_ecr == 0 is a legitimate echo
+# at the 32-bit timestamp wrap, not an absent option
+# ----------------------------------------------------------------------
+class TestTimestampEchoAtWrap:
+    @staticmethod
+    def _established(seed=0):
+        from tests.test_tcp_edge_cases import make_conn_pair
+
+        net, conn, server = make_conn_pair(seed=seed)
+        assert conn.ts_enabled
+        return net, conn, server
+
+    def _ack_with_echo(self, conn, ts_ecr, acked=0):
+        return Segment(
+            src_port=8000, dst_port=conn.local_port,
+            seq=conn.rcv_nxt, ack=seq_add(conn.snd_una, acked),
+            flags=FLAG_ACK, window=4096,
+            options=TcpOptions(ts_val=7, ts_ecr=ts_ecr),
+        )
+
+    def test_rtt_sampled_when_echo_is_zero(self):
+        net, conn, _ = self._established()
+        # sender's clock just wrapped: now_ms is small, the echo is 0
+        conn.ts_clock = lambda now: 3
+        before = conn.rtt.samples
+        conn._sample_rtt(self._ack_with_echo(conn, ts_ecr=0))
+        assert conn.rtt.samples == before + 1
+        assert conn.rtt.last_sample == pytest.approx(0.003)
+
+    def test_rtt_skips_absent_echo(self):
+        net, conn, _ = self._established()
+        seg = self._ack_with_echo(conn, ts_ecr=0)
+        seg.options = TcpOptions()  # no timestamp option at all
+        before = conn.rtt.samples
+        conn._sample_rtt(seg)
+        assert conn.rtt.samples == before
+
+    def test_rtt_skips_insane_echo(self):
+        net, conn, _ = self._established()
+        conn.ts_clock = lambda now: 3
+        before = conn.rtt.samples
+        # echo from the "future": wrap-aware delta lands >= 2**28
+        conn._sample_rtt(self._ack_with_echo(conn, ts_ecr=(1 << 29)))
+        assert conn.rtt.samples == before
+
+    def test_bad_rexmit_undo_fires_on_zero_echo(self):
+        net, conn, _ = self._established()
+        conn.send(b"x" * 100)
+        conn.output()  # data in flight; snd_nxt > snd_una
+        conn._badrexmit = {"cwnd": 1344, "ssthresh": 896, "ts": 2}
+        conn.cc.cwnd = 448
+        conn._ack_advance(self._ack_with_echo(conn, ts_ecr=0, acked=100))
+        # echo 0 predates the retransmission stamp 2 (wrap-aware), so
+        # the timeout was spurious and the congestion state is restored
+        # (the ACK itself then grows cwnd from the restored value)
+        assert conn.cc.cwnd >= 1344
+        assert conn.cc.ssthresh == 896
+        assert conn._badrexmit is None
+        assert conn.trace.counters.get("tcp.bad_retransmits_undone") == 1
+
+    def test_bad_rexmit_no_undo_when_echo_matches_rexmit(self):
+        net, conn, _ = self._established()
+        conn.send(b"x" * 100)
+        conn.output()
+        conn._badrexmit = {"cwnd": 1344, "ssthresh": 896, "ts": 2}
+        conn.cc.cwnd = 448
+        shrunk_ssthresh = conn.cc.ssthresh
+        # the ACK echoes the retransmission itself: genuine loss, keep
+        # the congestion response
+        conn._ack_advance(self._ack_with_echo(conn, ts_ecr=2, acked=100))
+        assert conn.cc.ssthresh == shrunk_ssthresh != 896
+        assert conn._badrexmit is None
+        assert not conn.trace.counters.get("tcp.bad_retransmits_undone")

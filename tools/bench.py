@@ -77,11 +77,12 @@ def run_scenario(name: str, smoke: bool, trials: int) -> dict:
     for _ in range(trials):
         result = fn(duration=duration)
         if best is not None:
-            for key in ("events", "frames_delivered", "goodput_kbps"):
-                if result[key] != best[key]:
+            for key in ("events", "frames_delivered", "goodput_kbps",
+                        "fault_events"):
+                if result.get(key) != best.get(key):
                     raise AssertionError(
                         f"{name}: non-deterministic {key}: "
-                        f"{result[key]} != {best[key]}"
+                        f"{result.get(key)} != {best.get(key)}"
                     )
         if best is None or result["wall_s"] < best["wall_s"]:
             best = result
@@ -129,10 +130,11 @@ def compare_to_baseline(results: dict, baseline: dict,
             continue
         # Determinism guard: behaviour must match the baseline exactly,
         # on any machine.
-        for key in ("events", "frames_delivered", "goodput_kbps"):
-            if current[key] != base[key]:
+        for key in ("events", "frames_delivered", "goodput_kbps",
+                    "fault_events"):
+            if current.get(key) != base.get(key):
                 behavioural.append(
-                    f"{name}.{key} {base[key]} -> {current[key]}"
+                    f"{name}.{key} {base.get(key)} -> {current.get(key)}"
                 )
         # Speed gate: machine-relative, so the threshold is generous.
         floor = base["events_per_sec"] * (1.0 - tolerance)
