@@ -25,6 +25,12 @@ The scenarios deliberately cover the distinct hot paths:
   injector's determinism (``fault_events`` is exact-matched across
   trials and against the baseline) and TCP's behaviour under compound
   faults.
+* ``dense_mesh`` — the hundred-node scale gate: a 10x10 router grid
+  carrying 24 staggered concurrent TCP flows through a ``FlowSet``.
+  Exercises the Medium's spatial-index adjacency rebuild, MeshRouting
+  forwarding at scale, and per-flow/aggregate metering; ``fairness``
+  (Jain's index over per-flow goodput) is exact-matched alongside the
+  usual behavioural counters.
 """
 
 from __future__ import annotations
@@ -32,10 +38,16 @@ from __future__ import annotations
 import time
 from typing import Dict
 
-from repro.core.simplified import tcplp_params
-from repro.core.socket_api import TcpStack
-from repro.experiments.topology import build_chain, build_pair
-from repro.experiments.workload import BulkTransfer
+from repro.api import (
+    BulkTransfer,
+    FlowSet,
+    FlowSpec,
+    TcpStack,
+    build_chain,
+    build_grid_mesh,
+    build_pair,
+    tcplp_params,
+)
 from repro.mac.poll import PollParams
 from repro.phy.medium import UniformLoss
 
@@ -179,6 +191,44 @@ def chaos_faults(duration: float = 40.0, seed: int = 7) -> Dict:
     }
 
 
+def dense_mesh(duration: float = 20.0, seed: int = 3) -> Dict:
+    """24 concurrent TCP flows across a 100-node router grid.
+
+    Flow pattern (all 3-4 hop Manhattan routes, senders spread over the
+    lattice so contention is distributed, not a single convergecast):
+    one west-bound flow per row, one north-bound flow per column, plus
+    four short diagonal-area flows toward the border corner.  Launches
+    are staggered 250 ms apart so connection setup itself overlaps with
+    established flows — the regime a production mesh actually sees.
+    """
+    rows = cols = 10
+    net = build_grid_mesh(rows, cols, seed=seed)
+    params = tcplp_params(window_segments=2)
+    specs = []
+    # west-bound: rightmost column toward mid-grid, one per row 0..8
+    specs += [FlowSpec(src=r * cols + 9, dst=r * cols + 6) for r in range(9)]
+    # north-bound: top row toward row 6, one per column
+    specs += [FlowSpec(src=90 + c, dst=60 + c) for c in range(10)]
+    # short flows near the border corner
+    specs += [FlowSpec(src=11, dst=0), FlowSpec(src=33, dst=30),
+              FlowSpec(src=55, dst=52), FlowSpec(src=77, dst=74),
+              FlowSpec(src=44, dst=14)]
+    specs = [FlowSpec(src=s.src, dst=s.dst, start=0.25 * i)
+             for i, s in enumerate(specs)]
+    flows = FlowSet(net, specs, params=params)
+    t0 = time.perf_counter()
+    res = flows.measure(warmup=8.0, duration=duration)
+    wall = time.perf_counter() - t0
+    return {
+        "events": net.sim.events_processed,
+        "wall_s": wall,
+        "goodput_kbps": round(res.aggregate_goodput_kbps, 2),
+        "frames_delivered": net.medium.frames_delivered,
+        "fairness": round(res.fairness, 4),
+        "flows_connected": res.flows_connected,
+    }
+
+
 #: scenario name -> (callable, smoke-mode duration, full-mode duration)
 SCENARIOS = {
     "one_hop_bulk": (one_hop_bulk, 20.0, 60.0),
@@ -186,4 +236,5 @@ SCENARIOS = {
     "duty_cycled_polling": (duty_cycled_polling, 30.0, 60.0),
     "loss_sweep": (loss_sweep, 15.0, 40.0),
     "chaos_faults": (chaos_faults, 40.0, 60.0),
+    "dense_mesh": (dense_mesh, 20.0, 45.0),
 }

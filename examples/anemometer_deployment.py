@@ -14,7 +14,7 @@ Run:  python examples/anemometer_deployment.py
 
 from repro.experiments.exp_app import run_app_study
 from repro.experiments.plotting import render_network_map
-from repro.experiments.topology import build_testbed
+from repro.api import build_testbed
 
 
 def show(label: str, result) -> None:

@@ -9,10 +9,7 @@ paper's measurements and the analytic B/min(h,3) bound, then shows the
 Run:  python examples/multihop_throughput.py
 """
 
-from repro.core.simplified import tcplp_params
-from repro.core.socket_api import TcpStack
-from repro.experiments.topology import build_chain
-from repro.experiments.workload import BulkTransfer
+from repro.api import BulkTransfer, TcpStack, build_chain, tcplp_params
 from repro.models.throughput import multihop_bound, single_hop_ceiling
 
 PAPER = {1: 64.1, 2: 28.3, 3: 19.5, 4: 17.5}

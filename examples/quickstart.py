@@ -9,10 +9,13 @@ kilobyte, and prints what happened on the wire.
 Run:  python examples/quickstart.py
 """
 
-from repro.core.params import linux_like_params
-from repro.core.simplified import tcplp_params
-from repro.core.socket_api import TcpStack
-from repro.experiments.topology import CLOUD_ID, build_single_hop
+from repro.api import (
+    CLOUD_ID,
+    TcpStack,
+    build_single_hop,
+    linux_like_params,
+    tcplp_params,
+)
 
 
 def main() -> None:

@@ -10,10 +10,13 @@ across the border router, all over the simulated 802.15.4 link.
 Run:  python examples/remote_shell.py
 """
 
-from repro.core.params import linux_like_params
-from repro.core.simplified import tcplp_params
-from repro.core.socket_api import TcpStack
-from repro.experiments.topology import CLOUD_ID, build_single_hop
+from repro.api import (
+    CLOUD_ID,
+    TcpStack,
+    build_single_hop,
+    linux_like_params,
+    tcplp_params,
+)
 
 
 class MoteShell:

@@ -9,10 +9,7 @@ and finally runs a TCPlp bulk transfer over the routes RPL built.
 Run:  python examples/rpl_dodag.py
 """
 
-from repro.core.simplified import tcplp_params
-from repro.core.socket_api import TcpStack
-from repro.experiments.topology import build_chain
-from repro.experiments.workload import BulkTransfer
+from repro.api import BulkTransfer, TcpStack, build_chain, tcplp_params
 from repro.net.rpl import INFINITE_RANK, enable_rpl
 
 

@@ -6,15 +6,19 @@ in :mod:`repro.core`, and the complete LLN substrate it runs on --
 simulated 802.15.4 PHY/MAC, 6LoWPAN, IPv6, Thread-like routing with
 sleepy end devices, CoAP/CoCoA, and duty-cycle accounting.
 
-Typical entry points::
+The stable public surface lives in :mod:`repro.api`::
 
-    from repro import TcpStack, tcplp_params, build_single_hop
+    from repro.api import TcpStack, tcplp_params, build_single_hop
 
     net = build_single_hop(seed=1)
     stack = TcpStack(net.sim, net.nodes[1].ipv6, 1)
 
-See README.md for a tour, DESIGN.md for the architecture, and
-EXPERIMENTS.md for the paper-vs-reproduction accounting.
+The same names are re-exported here for convenience (``from repro
+import TcpStack`` keeps working), and deep implementation paths remain
+importable — but :mod:`repro.api` is the compatibility promise.  See
+README.md for a tour, docs/api.md for the API reference, DESIGN.md for
+the architecture, and EXPERIMENTS.md for the paper-vs-reproduction
+accounting.
 """
 
 from repro.core.params import TcpParams, linux_like_params, mss_for_frames
@@ -29,7 +33,9 @@ from repro.experiments.topology import (
     CLOUD_ID,
     Network,
     build_chain,
+    build_grid_mesh,
     build_pair,
+    build_random_mesh,
     build_single_hop,
     build_testbed,
 )
@@ -54,6 +60,8 @@ __all__ = [
     "build_single_hop",
     "build_chain",
     "build_testbed",
+    "build_grid_mesh",
+    "build_random_mesh",
     "CLOUD_ID",
     "__version__",
 ]

@@ -1,0 +1,151 @@
+"""The stable public API of the TCPlp reproduction.
+
+Import from here — ``from repro.api import Network, build_chain,
+TcpStack, ...`` — rather than from the implementation modules.  Deep
+paths (``repro.core.socket_api``, ``repro.experiments.topology``, …)
+keep working indefinitely for existing code, but only the names
+re-exported below are covered by the compatibility promise: they will
+not move or change signature without a deprecation cycle.  See
+``docs/api.md`` for the full reference and the deep-import migration
+table.
+
+The surface, by area:
+
+**Simulation kernel** —
+:class:`~repro.sim.engine.Simulator` (the discrete-event core),
+:class:`~repro.sim.rng.RngStreams` (named deterministic RNG streams),
+:class:`~repro.sim.metrics.MetricsRegistry` (labelled counters /
+gauges / histograms with deterministic snapshots).
+
+**Topologies** — :class:`~repro.experiments.topology.Network` (what a
+builder returns) and the builders: :func:`build_pair`,
+:func:`build_single_hop`, :func:`build_chain`, :func:`build_testbed`,
+and the hundred-node-scale :func:`build_grid_mesh` /
+:func:`build_random_mesh`.  ``CLOUD_ID`` is the wired server's node id.
+
+**TCP** — :class:`~repro.core.socket_api.TcpStack` (per-node
+demultiplexer with BSD-style ``listen``/``connect``/``set_option``),
+:class:`TcpListener`, ``TcpSocket`` (an active connection),
+:class:`~repro.core.params.TcpParams` plus the preset constructors
+(:func:`tcplp_params`, :func:`uip_params`, :func:`blip_params`,
+:func:`gnrc_params`, :func:`linux_like_params`) and
+:func:`mss_for_frames` (§6.1 frame-aligned MSS arithmetic).
+
+**Workloads** — :class:`~repro.experiments.workload.BulkTransfer`
+(saturating single flow), :class:`SensorStream` (paced reports),
+:class:`FlowSet` / :class:`FlowSpec` (N staggered concurrent flows
+with per-flow and aggregate goodput and Jain fairness), and
+:class:`GoodputMeter`.
+
+**Fault injection** —
+:class:`~repro.faults.schedule.FaultSchedule` (validated JSON/dict
+fault specs) and :class:`~repro.faults.injector.FaultInjector`.
+
+**Experiments** — :func:`run_experiments` runs the paper's experiment
+registry (all of it, or a named subset) and returns ``(results,
+meta)`` exactly like ``python -m repro.experiments.runner`` would
+write to JSON.
+"""
+
+from __future__ import annotations
+
+from repro.core.params import (
+    TcpParams,
+    linux_like_params,
+    mss_for_frames,
+)
+from repro.core.simplified import (
+    arch_rock_params,
+    blip_params,
+    gnrc_params,
+    tcplp_params,
+    uip_params,
+)
+from repro.core.socket_api import TcpListener, TcpSocket, TcpStack
+from repro.experiments.topology import (
+    CLOUD_ID,
+    Network,
+    build_chain,
+    build_grid_mesh,
+    build_pair,
+    build_random_mesh,
+    build_single_hop,
+    build_testbed,
+)
+from repro.experiments.workload import (
+    BulkResult,
+    BulkTransfer,
+    FlowResult,
+    FlowSet,
+    FlowSetResult,
+    FlowSpec,
+    GoodputMeter,
+    SensorStream,
+    jain_fairness,
+)
+from repro.faults import FaultInjector, FaultSchedule
+from repro.sim.engine import Simulator
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.rng import RngStreams
+
+
+def run_experiments(quick: bool = True, only=None, jobs: int = 1,
+                    progress=print, collect_metrics: bool = False,
+                    fault_spec=None):
+    """Run the paper's experiment registry; returns ``(results, meta)``.
+
+    A thin programmatic wrapper over
+    :func:`repro.experiments.runner.run_all_detailed` (imported lazily —
+    the runner pulls in every experiment module).  ``only`` is an
+    iterable of registry names (see ``runner --list``); ``meta``
+    records per-experiment wall times, failures, and the selection.
+    """
+    from repro.experiments.runner import run_all_detailed
+
+    return run_all_detailed(quick=quick, only=only, progress=progress,
+                            jobs=jobs, collect_metrics=collect_metrics,
+                            fault_spec=fault_spec)
+
+
+__all__ = [
+    # kernel
+    "Simulator",
+    "RngStreams",
+    "MetricsRegistry",
+    # topologies
+    "Network",
+    "CLOUD_ID",
+    "build_pair",
+    "build_single_hop",
+    "build_chain",
+    "build_testbed",
+    "build_grid_mesh",
+    "build_random_mesh",
+    # TCP
+    "TcpStack",
+    "TcpSocket",
+    "TcpListener",
+    "TcpParams",
+    "tcplp_params",
+    "uip_params",
+    "blip_params",
+    "gnrc_params",
+    "arch_rock_params",
+    "linux_like_params",
+    "mss_for_frames",
+    # workloads
+    "BulkTransfer",
+    "BulkResult",
+    "SensorStream",
+    "FlowSet",
+    "FlowSpec",
+    "FlowResult",
+    "FlowSetResult",
+    "GoodputMeter",
+    "jain_fairness",
+    # faults
+    "FaultSchedule",
+    "FaultInjector",
+    # experiments
+    "run_experiments",
+]

@@ -23,6 +23,7 @@ individually to express the simplified stacks of Table 1.
 
 from __future__ import annotations
 
+import copy
 import enum
 from typing import Callable, Optional
 
@@ -54,6 +55,34 @@ from repro.core.seqnum import (
 from repro.net.ipv6 import ECN_CE, ECN_ECT0, ECN_NOT_ECT, PROTO_TCP
 from repro.sim.timers import Timer
 from repro.sim.trace import TraceRecorder
+
+#: BSD option names -> (TcpParams field, invert) — ``invert`` flips the
+#: boolean both ways (TCP_NODELAY is the negation of Nagle).
+SOCKET_OPTION_ALIASES = {
+    "SO_SNDBUF": ("send_buffer", False),
+    "SO_RCVBUF": ("recv_buffer", False),
+    "SO_KEEPALIVE": ("keepalive", False),
+    "TCP_NODELAY": ("nagle", True),
+    "TCP_MAXSEG": ("mss", False),
+}
+
+
+def resolve_socket_option(params: TcpParams, name: str):
+    """Map a socket-option name to ``(TcpParams field, invert)``.
+
+    Accepts any :class:`TcpParams` field name verbatim, plus the BSD
+    aliases in :data:`SOCKET_OPTION_ALIASES`.  Shared by the
+    connection- and stack-level ``set_option``/``get_option`` wrappers.
+    """
+    alias = SOCKET_OPTION_ALIASES.get(name)
+    if alias is not None:
+        return alias
+    if not name.startswith("_") and hasattr(params, name):
+        return (name, False)
+    raise ValueError(
+        f"unknown socket option {name!r}; use a TcpParams field "
+        f"name or one of {sorted(SOCKET_OPTION_ALIASES)}"
+    )
 
 
 class TcpState(enum.Enum):
@@ -96,6 +125,9 @@ class TcpConnection:
         self.peer_id = peer_id
         self.peer_port = peer_port
         self.params = params or TcpParams()
+        #: set_option copies params on first write (never mutate a
+        #: TcpParams instance shared with other sockets)
+        self._params_owned = False
         self.dst_is_cloud = dst_is_cloud
         self.trace = trace or TraceRecorder()
         self.cpu = cpu
@@ -339,6 +371,41 @@ class TcpConnection:
         if self.state not in (TcpState.CLOSED, TcpState.TIME_WAIT):
             self._emit(flags=FLAG_RST | FLAG_ACK)
         self._teardown("aborted")
+
+    # ==================================================================
+    # socket options (BSD setsockopt/getsockopt surface)
+    # ==================================================================
+    def set_option(self, name: str, value) -> None:
+        """Set one socket option on this connection.
+
+        ``name`` is a :class:`TcpParams` field (``"rto_min"``,
+        ``"keepalive"``, ...) or a BSD alias (``"TCP_NODELAY"``,
+        ``"SO_KEEPALIVE"``, ``"SO_SNDBUF"``, ``"SO_RCVBUF"``,
+        ``"TCP_MAXSEG"``).  The connection's params object is copied on
+        first write, so options never leak to other sockets sharing the
+        same :class:`TcpParams` instance.  As with BSD ``setsockopt``,
+        fields consumed at connect time (buffer sizes, the negotiated
+        MSS) do not retroactively resize a live connection; fields read
+        on the fly (timers, thresholds, ``nagle``, ``keepalive``) take
+        effect immediately.
+        """
+        field_name, invert = resolve_socket_option(self.params, name)
+        if not self._params_owned:
+            self.params = copy.copy(self.params)
+            self._params_owned = True
+        setattr(self.params, field_name, (not value) if invert else value)
+        if field_name == "keepalive" and value and self.is_open:
+            self._arm_keepalive()
+
+    def get_option(self, name: str):
+        """Read one socket option (same names as :meth:`set_option`)."""
+        field_name, invert = resolve_socket_option(self.params, name)
+        value = getattr(self.params, field_name)
+        return (not value) if invert else value
+
+    #: BSD-named thin aliases
+    setsockopt = set_option
+    getsockopt = get_option
 
     # ==================================================================
     # output engine

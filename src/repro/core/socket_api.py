@@ -13,9 +13,10 @@ drops to 100 ms so the ACK is fetched promptly from the parent.
 
 from __future__ import annotations
 
+import copy
 from typing import Callable, Dict, Optional, Tuple
 
-from repro.core.connection import TcpConnection
+from repro.core.connection import TcpConnection, resolve_socket_option
 from repro.core.params import TcpParams
 from repro.core.segment import FLAG_ACK, FLAG_RST, Segment
 from repro.net.ipv6 import PROTO_TCP, Ipv6Packet
@@ -65,6 +66,9 @@ class TcpStack:
         self.network = network
         self.node_id = node_id
         self.default_params = default_params or TcpParams()
+        #: set_option copies default_params on first write (the caller's
+        #: object may be shared across stacks)
+        self._default_params_owned = False
         self.trace = trace or TraceRecorder()
         self.cpu = cpu
         self.sleepy = sleepy  # SleepyEndDevice for §9.2 fast-poll coupling
@@ -114,6 +118,35 @@ class TcpStack:
     def active_connections(self) -> int:
         """Number of live connections (tests and memory accounting)."""
         return len(self._connections)
+
+    def set_option(self, name: str, value) -> None:
+        """Set a default socket option for future sockets on this stack.
+
+        Same names as :meth:`TcpConnection.set_option` (a
+        :class:`TcpParams` field or a BSD alias such as
+        ``"TCP_NODELAY"``/``"SO_KEEPALIVE"``).  Mutates a private copy
+        of ``default_params``, so sockets created with an explicit
+        ``params=`` and other stacks sharing the original object are
+        unaffected.  Existing connections keep their own options — use
+        the connection-level :meth:`~TcpConnection.set_option` for
+        those.
+        """
+        field_name, invert = resolve_socket_option(self.default_params, name)
+        if not self._default_params_owned:
+            self.default_params = copy.copy(self.default_params)
+            self._default_params_owned = True
+        setattr(self.default_params, field_name,
+                (not value) if invert else value)
+
+    def get_option(self, name: str):
+        """Read a default socket option (see :meth:`set_option`)."""
+        field_name, invert = resolve_socket_option(self.default_params, name)
+        value = getattr(self.default_params, field_name)
+        return (not value) if invert else value
+
+    #: BSD-named thin aliases
+    setsockopt = set_option
+    getsockopt = get_option
 
     def crash(self) -> None:
         """Drop all connection state without notifying anyone.

@@ -10,9 +10,17 @@ the §9 office-testbed mesh).
 from repro.experiments.topology import (
     Network,
     build_chain,
+    build_grid_mesh,
     build_pair,
+    build_random_mesh,
     build_single_hop,
     build_testbed,
+)
+from repro.experiments.workload import (
+    BulkTransfer,
+    FlowSet,
+    FlowSpec,
+    SensorStream,
 )
 
 __all__ = [
@@ -21,4 +29,10 @@ __all__ = [
     "build_single_hop",
     "build_chain",
     "build_testbed",
+    "build_grid_mesh",
+    "build_random_mesh",
+    "BulkTransfer",
+    "FlowSet",
+    "FlowSpec",
+    "SensorStream",
 ]

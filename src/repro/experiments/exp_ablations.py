@@ -21,11 +21,14 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Callable, Dict, List
 
-from repro.core.params import TcpParams
-from repro.core.simplified import tcplp_params
-from repro.core.socket_api import TcpStack
-from repro.experiments.topology import build_chain, build_pair
-from repro.experiments.workload import BulkTransfer
+from repro.api import (
+    BulkTransfer,
+    TcpParams,
+    TcpStack,
+    build_chain,
+    build_pair,
+    tcplp_params,
+)
 
 #: name -> mutation applied to the full TCPlp profile
 ABLATIONS: Dict[str, Callable[[TcpParams], TcpParams]] = {
@@ -65,8 +68,7 @@ def run_ablation(
         # uniform *packet* loss (link retries would mask frame loss):
         # one mesh hop, then the border router's lossy uplink (§9.4)
         net = build_chain(1, seed=seed, wired_loss=frame_loss)
-        from repro.core.params import linux_like_params
-        from repro.experiments.topology import CLOUD_ID
+        from repro.api import CLOUD_ID, linux_like_params
 
         stack_tx = TcpStack(net.sim, net.nodes[1].ipv6, 1)
         stack_rx = TcpStack(net.sim, net.cloud, CLOUD_ID,

@@ -30,10 +30,14 @@ from repro.app.sensor import (
     ReadingServer,
     TcpTransport,
 )
-from repro.core.params import linux_like_params
-from repro.core.simplified import tcplp_params
-from repro.core.socket_api import TcpStack
-from repro.experiments.topology import CLOUD_ID, Network, build_testbed
+from repro.api import (
+    CLOUD_ID,
+    Network,
+    TcpStack,
+    build_testbed,
+    linux_like_params,
+    tcplp_params,
+)
 from repro.mac.poll import PollParams
 
 #: §9.2: leaves fast-poll at 100 ms while a transport ACK is expected
@@ -155,7 +159,7 @@ def run_app_study(
 
 
 def _readings_per_message(mss_frames: int) -> int:
-    from repro.core.params import mss_for_frames
+    from repro.api import mss_for_frames
 
     return max(1, mss_for_frames(mss_frames, to_cloud=True) // 82)
 

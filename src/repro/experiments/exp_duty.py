@@ -18,10 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.core.simplified import tcplp_params
-from repro.core.socket_api import TcpStack
-from repro.experiments.topology import build_pair
-from repro.experiments.workload import BulkTransfer
+from repro.api import BulkTransfer, TcpStack, build_pair, tcplp_params
 from repro.mac.poll import PollParams
 
 

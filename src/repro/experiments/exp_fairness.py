@@ -17,16 +17,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.core.simplified import tcplp_params
-from repro.core.socket_api import TcpStack
-from repro.experiments.topology import Network
-from repro.experiments.workload import BulkTransfer
+from repro.api import (
+    BulkTransfer,
+    Network,
+    RngStreams,
+    Simulator,
+    TcpStack,
+    tcplp_params,
+)
 from repro.net.node import Node, NodeConfig
 from repro.net.queues import RedParams
 from repro.net.routing import StaticRouting
 from repro.phy.medium import Medium
-from repro.sim.engine import Simulator
-from repro.sim.rng import RngStreams
 from repro.sim.trace import percentile
 
 

@@ -6,10 +6,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from repro.core.simplified import tcplp_params
-from repro.core.socket_api import TcpStack
-from repro.experiments.topology import build_chain
-from repro.experiments.workload import BulkTransfer
+from repro.api import BulkTransfer, TcpStack, build_chain, tcplp_params
 from repro.models.throughput import lln_model_goodput, mathis_goodput
 
 #: the paper's Figure 6 x-axis (seconds)

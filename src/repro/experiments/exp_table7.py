@@ -24,15 +24,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.core.simplified import (
+from repro.api import (
+    BulkTransfer,
+    TcpStack,
     arch_rock_params,
     blip_params,
+    build_chain,
     tcplp_params,
     uip_params,
 )
-from repro.core.socket_api import TcpStack
-from repro.experiments.topology import build_chain
-from repro.experiments.workload import BulkTransfer
 from repro.mac.poll import PollParams
 from repro.models.platforms import phy_profile
 from repro.net.node import NodeConfig

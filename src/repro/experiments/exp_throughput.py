@@ -8,10 +8,18 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.core.params import TcpParams, linux_like_params, mss_for_frames
-from repro.core.socket_api import TcpStack
-from repro.experiments.topology import CLOUD_ID, Network, build_chain, build_pair
-from repro.experiments.workload import BulkTransfer, BulkResult
+from repro.api import (
+    CLOUD_ID,
+    BulkResult,
+    BulkTransfer,
+    Network,
+    TcpParams,
+    TcpStack,
+    build_chain,
+    build_pair,
+    linux_like_params,
+    mss_for_frames,
+)
 
 
 def _cloud_stack(net: Network) -> TcpStack:
@@ -109,7 +117,7 @@ def run_node_to_node(
     duration: float = 60.0,
 ) -> BulkResult:
     """§6.3: two embedded nodes over one hop, no border router."""
-    from repro.core.simplified import tcplp_params
+    from repro.api import tcplp_params
 
     net = build_pair(seed=seed)
     sa = _node_stack(net, 0)
@@ -131,7 +139,7 @@ def run_sec72_hops(
     Per the paper, the four-hop experiment needs a window larger than
     four segments; we use six there.
     """
-    from repro.core.simplified import tcplp_params
+    from repro.api import tcplp_params
     from repro.models.throughput import multihop_bound, single_hop_ceiling
 
     rows = []

@@ -6,6 +6,11 @@ writes one JSON document with a section per table/figure.  The pytest
 benchmarks remain the canonical, asserted reproduction; this runner is
 for users who want the raw numbers (e.g. to plot).
 
+``--list`` prints the registry; ``--only NAME[,NAME...]`` (space- or
+comma-separated, repeatable) runs a subset — the resolved selection is
+recorded in the output's ``_meta.only`` so a results file always says
+what produced it.
+
 Experiments are independent simulations (each seeds its own RNG), so
 ``--jobs N`` fans them out over a process pool; the output is identical
 to a serial run apart from the recorded wall times.  The document's
@@ -219,6 +224,7 @@ def run_all_detailed(
     names: List[str] = [
         name for name in registry_names if not only or name in only
     ]
+    selection = names if only else None
     collected: Dict[str, object] = {}
     wall_times: Dict[str, float] = {}
     snapshots: Dict[str, object] = {}
@@ -255,6 +261,8 @@ def run_all_detailed(
     meta = {
         "quick": quick,
         "jobs": jobs,
+        #: the resolved --only selection in registry order (None = all)
+        "only": selection,
         "wall_times_s": {name: round(wall_times[name], 3) for name in names},
         "total_wall_s": round(time.perf_counter() - t0, 3),
         "errors": [name for name in names if name in errors],
@@ -280,7 +288,11 @@ def main(argv=None) -> int:
                         help="abbreviated durations (~2-4 minutes total)")
     parser.add_argument("-o", "--output", default="results.json")
     parser.add_argument("--only", nargs="*", default=None,
-                        help="subset of experiment names")
+                        metavar="NAME[,NAME...]",
+                        help="subset of experiment names (space- or "
+                             "comma-separated; see --list)")
+    parser.add_argument("--list", action="store_true",
+                        help="print the experiment registry and exit")
     parser.add_argument("-j", "--jobs", type=int, default=1,
                         help="worker processes (experiments are "
                              "independent; results are identical to a "
@@ -296,8 +308,18 @@ def main(argv=None) -> int:
                              "docs/faults.md); per-experiment injection "
                              "counts land in the output's _meta section")
     args = parser.parse_args(argv)
+    if args.list:
+        for name in experiment_registry(args.quick):
+            print(name)
+        return 0
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    only = None
+    if args.only is not None:
+        # accept both `--only a b` and `--only a,b` (and mixtures)
+        only = [n for item in args.only for n in item.split(",") if n]
+        if not only:
+            parser.error("--only given but no experiment names")
     fault_spec = None
     if args.faults is not None:
         from repro.faults import FaultSchedule
@@ -308,7 +330,7 @@ def main(argv=None) -> int:
             parser.error(f"--faults {args.faults}: {exc}")
     try:
         results, meta = run_all_detailed(
-            quick=args.quick, only=args.only, jobs=args.jobs,
+            quick=args.quick, only=only, jobs=args.jobs,
             collect_metrics=args.metrics_out is not None,
             fault_spec=fault_spec)
     except ValueError as exc:  # e.g. a typo'd --only name

@@ -11,13 +11,21 @@
 * :func:`build_testbed` — a §9-style office mesh: a border router, a
   backbone of always-on routers placed so leaf traffic crosses 3-5
   hops, and sleepy leaf nodes at the far end.
+* :func:`build_grid_mesh` / :func:`build_random_mesh` — hundred-node
+  scale meshes of always-on routers (regular grid, or seeded uniform
+  random placement re-drawn until connected), for the many-flow
+  workloads in :mod:`repro.experiments.workload`.  Both builders
+  verify full connectivity at build time and are deterministic in
+  ``seed`` alone.
 """
 
 from __future__ import annotations
 
 import copy
+import math
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro import faults as _faults
 from repro.net.node import Node, NodeConfig
@@ -209,3 +217,183 @@ def build_testbed(
     _attach_cloud(net, nodes[1], wired_loss=wired_loss)
     net.faults = _faults.maybe_attach(net)
     return net
+
+
+# ----------------------------------------------------------------------
+# hundred-node meshes
+# ----------------------------------------------------------------------
+def _positions_connected(
+    positions: Dict[int, Tuple[float, float]], comm_range: float
+) -> bool:
+    """True if range-``comm_range`` connectivity over ``positions`` is a
+    single component.
+
+    Pure geometry (no Medium), so random placements can be rejected
+    before any radios are built.  Uses the same uniform-grid bucketing
+    as :class:`repro.phy.medium.Medium` so the check stays O(n · degree).
+    """
+    if not positions:
+        return True
+    buckets: Dict[Tuple[int, int], List[int]] = {}
+    for nid, (x, y) in positions.items():
+        buckets.setdefault((int(x // comm_range), int(y // comm_range)),
+                           []).append(nid)
+    start = next(iter(positions))
+    seen = {start}
+    frontier = deque([start])
+    while frontier:
+        a = frontier.popleft()
+        ax, ay = positions[a]
+        cx, cy = int(ax // comm_range), int(ay // comm_range)
+        for mx in (cx - 1, cx, cx + 1):
+            for my in (cy - 1, cy, cy + 1):
+                for b in buckets.get((mx, my), ()):
+                    if b in seen:
+                        continue
+                    bx, by = positions[b]
+                    if math.hypot(ax - bx, ay - by) <= comm_range:
+                        seen.add(b)
+                        frontier.append(b)
+    return len(seen) == len(positions)
+
+
+def _assert_connected(net: Network, context: str) -> None:
+    """Builder invariant: every node reaches the border over the radio."""
+    sets = net.medium.neighbor_sets
+    seen = {net.border_id}
+    frontier = deque([net.border_id])
+    while frontier:
+        a = frontier.popleft()
+        for b in sets.get(a, ()):
+            if b not in seen and b in net.nodes:
+                seen.add(b)
+                frontier.append(b)
+    missing = sorted(set(net.nodes) - seen)
+    if missing:
+        raise RuntimeError(
+            f"{context}: nodes {missing} unreachable from border "
+            f"{net.border_id}"
+        )
+
+
+def _finish_mesh(
+    sim: Simulator,
+    rng: RngStreams,
+    medium: Medium,
+    nodes: Dict[int, Node],
+    context: str,
+    with_cloud: bool,
+    wired_loss: float,
+) -> Network:
+    """Shared tail of the mesh builders: routing, checks, cloud, faults."""
+    routing = MeshRouting(border_id=0, router_ids=list(nodes))
+    for node in nodes.values():
+        node.routing = routing
+        node.ipv6.routing = routing
+    routing.rebuild(medium)
+    net = Network(sim, rng, medium, nodes, routing, border_id=0)
+    _assert_connected(net, context)
+    if with_cloud:
+        _attach_cloud(net, nodes[0], wired_loss=wired_loss)
+    net.faults = _faults.maybe_attach(net)
+    return net
+
+
+def build_grid_mesh(
+    rows: int,
+    cols: int,
+    seed: int = 0,
+    node_config: Optional[NodeConfig] = None,
+    spacing: float = 8.0,
+    comm_range: float = 10.0,
+    retry_delay: float = 0.04,
+    with_cloud: bool = False,
+    wired_loss: float = 0.0,
+) -> Network:
+    """A ``rows x cols`` lattice of always-on routers.
+
+    Node ``r * cols + c`` sits at ``(c * spacing, r * spacing)``; node 0
+    (the corner) is the border router.  With the default
+    ``spacing=8``/``comm_range=10`` only the 4-neighborhood is in radio
+    range (diagonals are ~11.3 apart), so routes follow Manhattan paths
+    and parallel transfers contend exactly like the §7 chains do.
+    ``retry_delay`` defaults to the §7.1-recommended 40 ms — without it
+    a dense mesh collapses under hidden-terminal collisions.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("need at least a 1x1 grid")
+    if rows * cols > CLOUD_ID:
+        raise ValueError(f"grid of {rows * cols} nodes collides with "
+                         f"CLOUD_ID {CLOUD_ID}")
+    sim = Simulator()
+    rng = RngStreams(seed)
+    medium = Medium(sim, rng=rng, comm_range=comm_range)
+    placeholder = StaticRouting()  # replaced once radios are registered
+    nodes: Dict[int, Node] = {}
+    for r in range(rows):
+        for c in range(cols):
+            nid = r * cols + c
+            config = _clone_config(node_config)
+            config.mac.retry_delay = retry_delay
+            nodes[nid] = Node(sim, medium, rng, nid,
+                              (c * spacing, r * spacing), placeholder, config)
+    return _finish_mesh(sim, rng, medium, nodes,
+                        f"grid_mesh({rows}x{cols})", with_cloud, wired_loss)
+
+
+def build_random_mesh(
+    num_nodes: int,
+    seed: int = 0,
+    node_config: Optional[NodeConfig] = None,
+    area: Optional[float] = None,
+    comm_range: float = 10.0,
+    retry_delay: float = 0.04,
+    with_cloud: bool = False,
+    wired_loss: float = 0.0,
+    max_tries: int = 64,
+) -> Network:
+    """``num_nodes`` always-on routers placed uniformly at random.
+
+    Placement draws from the seeded ``"topology-placement"`` RNG stream
+    and is re-drawn wholesale until the geometry is a single connected
+    component (checked before any radios are built), so the builder is
+    deterministic in ``seed`` alone and never returns a partitioned
+    mesh.  ``area`` is the square side length; the default sizes the
+    area so the expected radio degree is ~10, which connects a
+    100-node draw almost surely within a few tries.  Node 0 is the
+    border router (wherever it landed).
+    """
+    if num_nodes < 1:
+        raise ValueError("need at least one node")
+    if num_nodes > CLOUD_ID:
+        raise ValueError(f"{num_nodes} nodes collide with CLOUD_ID "
+                         f"{CLOUD_ID}")
+    side = area if area is not None else (
+        comm_range * 0.55 * math.sqrt(num_nodes)
+    )
+    sim = Simulator()
+    rng = RngStreams(seed)
+    positions: Dict[int, Tuple[float, float]] = {}
+    for attempt in range(max_tries):
+        positions = {
+            nid: (rng.uniform("topology-placement", 0.0, side),
+                  rng.uniform("topology-placement", 0.0, side))
+            for nid in range(num_nodes)
+        }
+        if _positions_connected(positions, comm_range):
+            break
+    else:
+        raise RuntimeError(
+            f"random_mesh(n={num_nodes}, seed={seed}): no connected "
+            f"placement in {max_tries} tries; grow `area` or the range"
+        )
+    medium = Medium(sim, rng=rng, comm_range=comm_range)
+    placeholder = StaticRouting()
+    nodes: Dict[int, Node] = {}
+    for nid, pos in positions.items():
+        config = _clone_config(node_config)
+        config.mac.retry_delay = retry_delay
+        nodes[nid] = Node(sim, medium, rng, nid, pos, placeholder, config)
+    return _finish_mesh(sim, rng, medium, nodes,
+                        f"random_mesh(n={num_nodes})", with_cloud,
+                        wired_loss)

@@ -78,6 +78,10 @@ class MeshRouting:
         self.router_ids = sorted(set(router_ids) | {border_id})
         self.leaf_parents = dict(leaf_parents or {})
         self._next: Dict[Tuple[int, int], int] = {}
+        #: frozen copy for the per-packet membership test; next_hop is
+        #: called once per fragment per hop, so on hundred-node meshes
+        #: rebuilding set(router_ids) there dominated forwarding cost
+        self._router_set = frozenset(self.router_ids)
         self._built = False
 
     @classmethod
@@ -107,6 +111,7 @@ class MeshRouting:
 
     def rebuild(self, medium) -> None:
         """(Re)compute router-mesh shortest paths from current geometry."""
+        self._router_set = frozenset(self.router_ids)
         adj: Dict[int, List[int]] = {}
         for r in self.router_ids:
             adj[r] = sorted(
@@ -145,7 +150,7 @@ class MeshRouting:
                 return dst
             return self._mesh_hop(node, parent)
         # Off-mesh destinations go via the border router.
-        if dst not in set(self.router_ids):
+        if dst not in self._router_set:
             if node == self.border_id:
                 return dst  # resolved by the border router's wired links
             return self._mesh_hop(node, self.border_id)

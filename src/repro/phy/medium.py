@@ -22,6 +22,15 @@ topology change, so the per-event cost is a set lookup instead of a
 ``math.hypot`` over all N radios.  Construct with ``use_cache=False``
 to force the original geometric path (the determinism regression test
 asserts both paths produce byte-identical event traces).
+
+Scale design: the adjacency rebuild itself used to be an O(n²)
+pairwise distance sweep, which dominates setup (and every topology
+change) on hundred-node meshes.  The rebuild now buckets positions
+into a uniform grid with cell size ``comm_range`` and only tests the
+3x3 cell neighborhood of each node, so a rebuild costs O(n · degree).
+The resulting neighbor sets are identical to the brute-force sweep
+(asserted by tests/test_phy_medium.py); construct with
+``use_spatial_index=False`` to force the pairwise path.
 """
 
 from __future__ import annotations
@@ -129,12 +138,14 @@ class Medium:
         rng: Optional[RngStreams] = None,
         comm_range: float = 10.0,
         use_cache: bool = True,
+        use_spatial_index: bool = True,
     ):
         self.sim = sim
         self.params = params or PhyParams()
         self.rng = rng or RngStreams(0)
         self.comm_range = comm_range
         self.use_cache = use_cache
+        self.use_spatial_index = use_spatial_index
         self.radios: Dict[int, "Radio"] = {}
         self.positions: Dict[int, Tuple[float, float]] = {}
         self._active: List[Transmission] = []
@@ -243,6 +254,75 @@ class Medium:
             return True
         return self.distance(a, b) <= self.comm_range
 
+    def _spatial_buckets(self) -> Dict[Tuple[int, int], List[int]]:
+        """Uniform-grid bucketing of registered positions.
+
+        Cell size equals ``comm_range``, so every node within range of
+        ``a`` lives in the 3x3 cell neighborhood of ``a``'s cell.
+        Rebuilt together with (and invalidated by) the adjacency cache.
+        """
+        cell = self.comm_range
+        buckets: Dict[Tuple[int, int], List[int]] = {}
+        for nid in self.radios:
+            x, y = self.positions[nid]
+            key = (int(x // cell), int(y // cell))
+            bucket = buckets.get(key)
+            if bucket is None:
+                buckets[key] = [nid]
+            else:
+                bucket.append(nid)
+        return buckets
+
+    def _build_sets_grid(self, sources: List[int],
+                         known: Set[int]) -> Dict[int, Set[int]]:
+        """Neighbor sets via spatial bucketing: O(n · degree).
+
+        Produces exactly the sets the pairwise sweep would: the same
+        distance predicate (``math.hypot(...) <= comm_range``) decides
+        range, blocked links beat forced links beat distance.
+        """
+        cell = self.comm_range
+        comm_range = self.comm_range
+        positions = self.positions
+        blocked = self._blocked_links
+        buckets = self._spatial_buckets()
+        forced_out: Dict[int, List[int]] = {}
+        for a, b in self._forced_links:
+            forced_out.setdefault(a, []).append(b)
+        hypot = math.hypot
+        sets: Dict[int, Set[int]] = {}
+        for a in sources:
+            hears_a: Set[int] = set()
+            pos = positions.get(a)
+            if pos is not None:
+                ax, ay = pos
+                cx, cy = int(ax // cell), int(ay // cell)
+                for mx in (cx - 1, cx, cx + 1):
+                    for my in (cy - 1, cy, cy + 1):
+                        for b in buckets.get((mx, my), ()):
+                            if b == a or (a, b) in blocked:
+                                continue
+                            bx, by = positions[b]
+                            if hypot(ax - bx, ay - by) <= comm_range:
+                                hears_a.add(b)
+            for b in forced_out.get(a, ()):
+                if b != a and b in known and (a, b) not in blocked:
+                    hears_a.add(b)
+            sets[a] = hears_a
+        return sets
+
+    def _build_sets_brute(self, sources: List[int],
+                          known: Set[int]) -> Dict[int, Set[int]]:
+        """Neighbor sets via the original O(n²) pairwise sweep."""
+        sets: Dict[int, Set[int]] = {}
+        for a in sources:
+            hears_a: Set[int] = set()
+            for b in known:
+                if a != b and self._in_range_uncached(a, b):
+                    hears_a.add(b)
+            sets[a] = hears_a
+        return sets
+
     def _build_cache(self) -> Dict[int, Set[int]]:
         """(Re)build the adjacency cache from the current topology."""
         ids = list(self.radios)
@@ -257,13 +337,10 @@ class Medium:
             if b not in known:
                 known.add(b)
                 sources.append(b)
-        sets: Dict[int, Set[int]] = {}
-        for a in sources:
-            hears_a: Set[int] = set()
-            for b in known:
-                if a != b and self._in_range_uncached(a, b):
-                    hears_a.add(b)
-            sets[a] = hears_a
+        if self.use_spatial_index and self.comm_range > 0:
+            sets = self._build_sets_grid(sources, known)
+        else:
+            sets = self._build_sets_brute(sources, known)
         # registration-ordered receiver lists (registered radios only)
         self._neighbor_lists = {
             a: [b for b in ids if b in sets[a]] for a in sources

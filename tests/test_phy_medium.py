@@ -182,3 +182,94 @@ def test_oversized_frame_rejected():
     sim, medium, radios = make_net([(0, 0), (5, 0)])
     with pytest.raises(ValueError):
         radios[0].transmit(frame(0, 1), 200, on_done=lambda: None)
+
+
+# ----------------------------------------------------------------------
+# spatial index: grid-bucketed adjacency must equal the pairwise sweep
+# ----------------------------------------------------------------------
+def _random_positions(n, side, seed):
+    rng = RngStreams(seed)
+    return [(rng.uniform("pos", 0.0, side), rng.uniform("pos", 0.0, side))
+            for _ in range(n)]
+
+
+def _build_both(positions, comm_range=10.0, mutate=None):
+    """The same topology through the spatial-index and brute paths."""
+    mediums = []
+    for use_spatial in (True, False):
+        sim = Simulator()
+        medium = Medium(sim, rng=RngStreams(1), comm_range=comm_range,
+                        use_spatial_index=use_spatial)
+        for i, pos in enumerate(positions):
+            Radio(sim, medium, node_id=i, position=pos)
+        if mutate is not None:
+            mutate(medium)
+        mediums.append(medium)
+    return mediums
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_spatial_index_matches_brute_force_random(seed):
+    positions = _random_positions(80, side=60.0, seed=seed)
+    grid, brute = _build_both(positions)
+    assert grid.neighbor_sets == brute.neighbor_sets
+    for node in range(80):
+        assert grid.neighbors(node) == brute.neighbors(node)
+
+
+def test_spatial_index_matches_with_forced_and_blocked_links():
+    positions = _random_positions(50, side=45.0, seed=7)
+
+    def mutate(medium):
+        medium.force_link(0, 49)      # out-of-range pair, forced on
+        medium.block_link(1, 2)
+        # a pair that is both forced and blocked: blocked wins
+        medium.force_link(5, 6)
+        medium.block_link(5, 6)
+
+    grid, brute = _build_both(positions, mutate=mutate)
+    assert grid.neighbor_sets == brute.neighbor_sets
+    assert grid.in_range(0, 49) and grid.in_range(49, 0)
+    assert not grid.in_range(5, 6)
+
+
+def test_spatial_index_forced_id_without_radio():
+    # A forced link may name an id with no registered radio (the wired
+    # cloud pattern); the grid path answers in_range() truthfully for
+    # it.  Grid-only: the brute-force sweep predates this and raises
+    # KeyError looking up a position for the unregistered id.
+    sim = Simulator()
+    medium = Medium(sim, rng=RngStreams(3), comm_range=10.0)
+    for i in range(4):
+        Radio(sim, medium, node_id=i, position=(3.0 * i, 0.0))
+    medium.force_link(3, 1000)
+    assert medium.in_range(3, 1000) and medium.in_range(1000, 3)
+    assert not medium.in_range(2, 1000)
+    assert 1000 in medium.neighbor_sets[3]
+
+
+def test_spatial_index_boundary_distance_exact():
+    # nodes exactly comm_range apart are in range on both paths
+    positions = [(0.0, 0.0), (10.0, 0.0), (10.0 + 1e-9, 10.0)]
+    grid, brute = _build_both(positions, comm_range=10.0)
+    assert grid.neighbor_sets == brute.neighbor_sets
+    assert grid.in_range(0, 1)
+
+
+def test_spatial_index_cross_cell_neighbors():
+    # in range but in different grid cells (straddling a cell border)
+    positions = [(9.9, 0.0), (10.1, 0.0), (19.0, 9.5), (-0.5, -0.5)]
+    grid, brute = _build_both(positions, comm_range=10.0)
+    assert grid.neighbor_sets == brute.neighbor_sets
+
+
+def test_spatial_index_invalidated_on_register():
+    sim = Simulator()
+    medium = Medium(sim, rng=RngStreams(1), comm_range=10.0)
+    Radio(sim, medium, node_id=0, position=(0.0, 0.0))
+    Radio(sim, medium, node_id=1, position=(5.0, 0.0))
+    assert medium.neighbor_sets[0] == {1}
+    rebuilds = medium.cache_rebuilds
+    Radio(sim, medium, node_id=2, position=(0.0, 5.0))
+    assert medium.neighbor_sets[0] == {1, 2}
+    assert medium.cache_rebuilds == rebuilds + 1

@@ -78,7 +78,7 @@ def run_scenario(name: str, smoke: bool, trials: int) -> dict:
         result = fn(duration=duration)
         if best is not None:
             for key in ("events", "frames_delivered", "goodput_kbps",
-                        "fault_events"):
+                        "fault_events", "fairness", "flows_connected"):
                 if result.get(key) != best.get(key):
                     raise AssertionError(
                         f"{name}: non-deterministic {key}: "
@@ -131,7 +131,7 @@ def compare_to_baseline(results: dict, baseline: dict,
         # Determinism guard: behaviour must match the baseline exactly,
         # on any machine.
         for key in ("events", "frames_delivered", "goodput_kbps",
-                    "fault_events"):
+                    "fault_events", "fairness", "flows_connected"):
             if current.get(key) != base.get(key):
                 behavioural.append(
                     f"{name}.{key} {base.get(key)} -> {current.get(key)}"
