@@ -41,6 +41,13 @@ with per-flow and aggregate goodput and Jain fairness), and
 :class:`~repro.faults.schedule.FaultSchedule` (validated JSON/dict
 fault specs) and :class:`~repro.faults.injector.FaultInjector`.
 
+**Self-verification** —
+:class:`~repro.sim.checkpoint.Checkpoint` /
+:class:`~repro.sim.checkpoint.CheckpointManager` (deterministic
+snapshot/restore of a whole simulation) and
+:class:`~repro.verify.engine.InvariantEngine` (live cross-layer
+invariant checking; see ``docs/robustness.md``).
+
 **Experiments** — :func:`run_experiments` runs the paper's experiment
 registry (all of it, or a named subset) and returns ``(results,
 meta)`` exactly like ``python -m repro.experiments.runner`` would
@@ -84,14 +91,18 @@ from repro.experiments.workload import (
     jain_fairness,
 )
 from repro.faults import FaultInjector, FaultSchedule
+from repro.sim.checkpoint import Checkpoint, CheckpointManager
 from repro.sim.engine import Simulator
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.rng import RngStreams
+from repro.verify import InvariantEngine
 
 
 def run_experiments(quick: bool = True, only=None, jobs: int = 1,
                     progress=print, collect_metrics: bool = False,
-                    fault_spec=None):
+                    fault_spec=None, verify: bool = False,
+                    timeout: float = None, retries: int = 0,
+                    retry_backoff: float = 2.0):
     """Run the paper's experiment registry; returns ``(results, meta)``.
 
     A thin programmatic wrapper over
@@ -99,12 +110,16 @@ def run_experiments(quick: bool = True, only=None, jobs: int = 1,
     the runner pulls in every experiment module).  ``only`` is an
     iterable of registry names (see ``runner --list``); ``meta``
     records per-experiment wall times, failures, and the selection.
+    ``verify`` attaches the live invariant engine; ``timeout`` runs
+    each experiment under a watchdog (see docs/robustness.md).
     """
     from repro.experiments.runner import run_all_detailed
 
     return run_all_detailed(quick=quick, only=only, progress=progress,
                             jobs=jobs, collect_metrics=collect_metrics,
-                            fault_spec=fault_spec)
+                            fault_spec=fault_spec, verify=verify,
+                            timeout=timeout, retries=retries,
+                            retry_backoff=retry_backoff)
 
 
 __all__ = [
@@ -146,6 +161,10 @@ __all__ = [
     # faults
     "FaultSchedule",
     "FaultInjector",
+    # self-verification
+    "Checkpoint",
+    "CheckpointManager",
+    "InvariantEngine",
     # experiments
     "run_experiments",
 ]

@@ -20,6 +20,7 @@ integrate with the sleepy device's fast-poll (§9.2).
 
 from __future__ import annotations
 
+import functools
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Optional
@@ -222,18 +223,18 @@ class CoapTransport(TransportAdapter):
         block = (self._block_num, more, 6)
         self._block_num = (self._block_num + 1) & 0xFFF
 
-        def on_result(success: bool, n=count) -> None:
-            if not success:
-                # loss-tolerant blockwise: drop this block, keep going
-                self.readings_failed += n
-            self.pull()
-
         self.client.post(
             payload,
             confirmable=self.confirmable,
             block=block,
-            on_result=on_result,
+            on_result=functools.partial(self._on_block_result, count),
         )
+
+    def _on_block_result(self, count: int, success: bool) -> None:
+        if not success:
+            # loss-tolerant blockwise: drop this block, keep going
+            self.readings_failed += count
+        self.pull()
 
 
 class ReadingServer:
@@ -249,11 +250,10 @@ class ReadingServer:
     # ------------------------------------------------------------------
     def attach_tcp(self, stack: TcpStack, port: int = 8000, params=None) -> None:
         """Accept TCP connections and count their bytes."""
+        stack.listen(port, self._on_tcp_accept, params=params)
 
-        def on_accept(conn):
-            conn.on_data = self._on_tcp_data
-
-        stack.listen(port, on_accept, params=params)
+    def _on_tcp_accept(self, conn) -> None:
+        conn.on_data = self._on_tcp_data
 
     def _on_tcp_data(self, data: bytes) -> None:
         self.tcp_bytes += len(data)

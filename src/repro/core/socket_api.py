@@ -14,6 +14,7 @@ drops to 100 ms so the ACK is fetched promptly from the parent.
 from __future__ import annotations
 
 import copy
+import functools
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.core.connection import TcpConnection, resolve_socket_option
@@ -47,6 +48,10 @@ class TcpListener:
     def close(self) -> None:
         """Stop listening (existing connections are unaffected)."""
         self.stack._listeners.pop(self.port, None)
+
+    def _fire_accept(self, conn: TcpConnection) -> None:
+        """Deliver ``conn`` to the accept callback (on_connect hook)."""
+        self.on_accept(conn)
 
 
 class TcpStack:
@@ -208,7 +213,9 @@ class TcpStack:
             on_cleanup=self._cleanup,
         )
         if self.sleepy is not None:
-            conn.on_awaiting_ack = lambda waiting, k=key: self._fast_poll(k, waiting)
+            # checkpoint-safe hook: partial over the bound method, not a
+            # lambda, so deepcopy/pickle clone it with the connection
+            conn.on_awaiting_ack = functools.partial(self._fast_poll, key)
         self._connections[key] = conn
         return conn
 
@@ -245,11 +252,7 @@ class TcpStack:
                 dst_is_cloud=packet.src_is_cloud,
             )
             listener.accepted += 1
-
-            def fire_accept(c=conn, lst=listener):
-                lst.on_accept(c)
-
-            conn.on_connect = fire_accept
+            conn.on_connect = functools.partial(listener._fire_accept, conn)
             conn.accept_syn(seg, packet)
             return
         # no socket: RST unless the offender was itself a RST

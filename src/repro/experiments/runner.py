@@ -17,6 +17,16 @@ to a serial run apart from the recorded wall times.  The document's
 ``_meta`` section carries per-experiment wall time, the job count, and
 the list of failed experiments; the CLI exits non-zero if any
 experiment raised, whether it ran in-process or in a worker.
+
+Supervised runs: ``--timeout SECONDS`` runs each experiment in its own
+watched process — one that hangs is terminated at the deadline and
+recorded as a failure without disturbing the rest; ``--retries N``
+re-runs a *crashed* (not timed-out) worker with exponential backoff.
+``--verify`` attaches the live :mod:`repro.verify` invariant engine to
+every network an experiment builds; violations land in
+``_meta.invariant_violations`` and fail the run.  Ctrl-C at any point
+still writes a valid partial results document with
+``_meta.interrupted = true``.
 """
 
 from __future__ import annotations
@@ -79,6 +89,29 @@ def _static_tables() -> Dict:
     }
 
 
+#: extra experiments registered at runtime (name -> factory taking
+#: ``quick``); merged into every experiment_registry() result.  Lets
+#: tests and downstream users run their own scenarios under the same
+#: supervision/verification machinery as the built-in registry.
+_extra_experiments: Dict[str, Callable[[bool], object]] = {}
+
+
+def register_experiment(name: str,
+                        factory: Callable[[bool], object]) -> None:
+    """Add ``name`` to the registry; ``factory(quick)`` produces the result.
+
+    Supervised (``--timeout``) runs re-import this module in a worker
+    process, so factories registered from ``__main__`` or a test module
+    must be importable there (module-level functions, not closures).
+    """
+    _extra_experiments[name] = factory
+
+
+def unregister_experiment(name: str) -> None:
+    """Remove a :func:`register_experiment` entry (test cleanup)."""
+    _extra_experiments.pop(name, None)
+
+
 def experiment_registry(quick: bool) -> Dict[str, Callable[[], object]]:
     """Experiment name -> runnable, scaled by ``quick``."""
     d = 25.0 if quick else 60.0
@@ -117,6 +150,8 @@ def experiment_registry(quick: bool) -> Dict[str, Callable[[], object]]:
             "lossy-1hop", duration=d),
         "ablations_3hop": lambda: run_ablation_table(
             "hidden-3hop", duration=d),
+        **{name: functools.partial(factory, quick)
+           for name, factory in _extra_experiments.items()},
     }
 
 
@@ -140,25 +175,30 @@ def _strip_rtt_samples(rows):
 
 
 def _run_one(
-    name: str, quick: bool, metrics: bool = False, fault_spec=None
-) -> Tuple[str, object, float, bool, object, object]:
+    name: str, quick: bool, metrics: bool = False, fault_spec=None,
+    verify: bool = False,
+) -> Tuple[str, object, float, bool, object, object, object]:
     """Run one experiment; never raises.
 
     Module-level (not a closure) so a multiprocessing pool can dispatch
     it: the registry holds lambdas, which cannot be pickled, so each
     worker rebuilds the registry from ``(name, quick)`` instead.
     Returns ``(name, result-or-error-dict, wall_seconds, ok, snaps,
-    fault_summaries)`` — the ``ok`` flag is the structural success
-    signal, so callers never have to sniff result dicts for an
+    fault_summaries, violations)`` — the ``ok`` flag is the structural
+    success signal, so callers never have to sniff result dicts for an
     ``"error"`` key.  ``snaps`` is a list of metrics snapshots (one per
     simulator the experiment built) when ``metrics`` is set, else
     ``None``; auto-attach is enabled inside the worker, so it works
     identically under a process pool.  ``fault_spec`` (a validated
     schedule dict) is auto-injected into every network the experiment
     builds; ``fault_summaries`` lists each armed injector's per-kind
-    injection counts (None when no spec was given).
+    injection counts (None when no spec was given).  With ``verify``,
+    every network gets a live :class:`repro.verify.InvariantEngine`;
+    ``violations`` is the flat list of violation dicts it recorded
+    (None when verification was off).
     """
     from repro import faults as faults_mod
+    from repro import verify as verify_mod
     from repro.sim import metrics as metrics_mod
 
     start = time.perf_counter()
@@ -166,6 +206,8 @@ def _run_one(
         metrics_mod.auto_attach(True)
     if fault_spec is not None:
         faults_mod.auto_inject(fault_spec)
+    if verify:
+        verify_mod.auto_verify(0.5)
     try:
         result = experiment_registry(quick)[name]()
         ok = True
@@ -185,8 +227,116 @@ def _run_one(
             inj.summary() for inj in faults_mod.drain_auto()
         ]
         faults_mod.auto_inject(None)
+    violations = None
+    if verify:
+        violations = [
+            v.as_dict()
+            for engine in verify_mod.drain_auto()
+            for v in engine.violations
+        ]
+        verify_mod.auto_verify(None)
     return (name, result, time.perf_counter() - start, ok, snaps,
-            fault_summaries)
+            fault_summaries, violations)
+
+
+def _supervised_entry(name: str, quick: bool, metrics: bool,
+                      fault_spec, verify: bool, queue) -> None:
+    """Worker-process entry point for supervised runs."""
+    queue.put(_run_one(name, quick, metrics=metrics,
+                       fault_spec=fault_spec, verify=verify))
+
+
+def _run_supervised(
+    names: List[str], quick: bool, jobs: int, timeout: float,
+    retries: int, retry_backoff: float, collect_metrics: bool,
+    fault_spec, verify: bool, progress,
+) -> Tuple[List[Tuple], bool]:
+    """Run each experiment in a watched process.
+
+    Returns ``(result_tuples, interrupted)``.  A worker that exceeds
+    ``timeout`` wall-clock seconds is terminated and recorded as a
+    failure (timeouts are not retried — a hung experiment would hang
+    again); a worker that *crashes* (dies without posting a result) is
+    retried up to ``retries`` times with exponential backoff.  Ctrl-C
+    terminates the in-flight workers and returns what completed.
+    """
+    ctx = multiprocessing.get_context("fork")
+    pending: List[Tuple[str, int, float]] = [
+        (name, 0, 0.0) for name in reversed(names)
+    ]  # (name, attempt, not_before_monotonic); stack, registry order
+    active: Dict[str, Tuple] = {}  # name -> (proc, queue, deadline, attempt)
+    done: List[Tuple] = []
+    interrupted = False
+    try:
+        while pending or active:
+            now = time.monotonic()
+            launchable = [
+                i for i, (_, _, nb) in enumerate(pending) if nb <= now
+            ]
+            while launchable and len(active) < jobs:
+                name, attempt, _ = pending.pop(launchable.pop())
+                q = ctx.Queue()
+                proc = ctx.Process(
+                    target=_supervised_entry,
+                    args=(name, quick, collect_metrics, fault_spec,
+                          verify, q),
+                )
+                proc.start()
+                active[name] = (proc, q, time.monotonic() + timeout,
+                                attempt)
+                label = f" (retry {attempt})" if attempt else ""
+                progress(f"[{name}] running{label} ...")
+            for name in list(active):
+                proc, q, deadline, attempt = active[name]
+                if not q.empty():
+                    # feeder threads can lag proc exit; drain first
+                    done.append(q.get())
+                    proc.join()
+                    del active[name]
+                    progress(f"[{name}] done in {done[-1][2]:.1f}s")
+                elif not proc.is_alive():
+                    # died without posting: one last racy-queue check
+                    try:
+                        done.append(q.get(timeout=0.5))
+                        del active[name]
+                        progress(f"[{name}] done in {done[-1][2]:.1f}s")
+                        continue
+                    except Exception:
+                        pass
+                    del active[name]
+                    if attempt < retries:
+                        backoff = retry_backoff * (2 ** attempt)
+                        progress(f"[{name}] worker crashed "
+                                 f"(exit {proc.exitcode}); retrying in "
+                                 f"{backoff:.1f}s")
+                        pending.append(
+                            (name, attempt + 1,
+                             time.monotonic() + backoff))
+                    else:
+                        done.append((name, {
+                            "error": f"worker crashed with exit code "
+                                     f"{proc.exitcode} after "
+                                     f"{attempt + 1} attempt(s)"},
+                            timeout, False, None, None, None))
+                        progress(f"[{name}] FAILED (crash)")
+                elif time.monotonic() > deadline:
+                    proc.terminate()
+                    proc.join()
+                    del active[name]
+                    done.append((name, {
+                        "error": f"watchdog timeout after {timeout:.1f}s"},
+                        timeout, False, None, None, None))
+                    progress(f"[{name}] FAILED (watchdog timeout "
+                             f"after {timeout:.1f}s)")
+            if pending or active:
+                time.sleep(0.05)
+    except KeyboardInterrupt:
+        interrupted = True
+        for name, (proc, _q, _deadline, _attempt) in active.items():
+            proc.terminate()
+            proc.join()
+            progress(f"[{name}] interrupted")
+    return done, interrupted
 
 
 def run_all_detailed(
@@ -196,6 +346,10 @@ def run_all_detailed(
     jobs: int = 1,
     collect_metrics: bool = False,
     fault_spec=None,
+    verify: bool = False,
+    timeout: float = None,
+    retries: int = 0,
+    retry_backoff: float = 2.0,
 ) -> Tuple[Dict, Dict]:
     """Run the registry; returns ``(results, meta)``.
 
@@ -212,6 +366,19 @@ def run_all_detailed(
     spec.json``), every network each experiment builds gets the
     schedule injected, and ``meta`` carries ``fault_injections``:
     ``{experiment: [per-injector kind counts, ...]}``.
+
+    With ``verify``, every network gets a live invariant engine and
+    ``meta`` carries ``invariant_violations`` (only the experiments
+    that violated).  ``timeout`` switches to supervised mode: each
+    experiment runs in its own watched process (up to ``jobs`` at a
+    time); hung workers are killed at the deadline and recorded as
+    failures, crashed workers are retried ``retries`` times with
+    ``retry_backoff``-seconds exponential backoff.
+
+    A ``KeyboardInterrupt`` in any mode stops cleanly: the returned
+    ``results`` hold every experiment that finished, and
+    ``meta["interrupted"]`` (always present) records whether the run
+    was cut short.
     """
     registry_names = list(experiment_registry(quick))
     if only:
@@ -229,48 +396,79 @@ def run_all_detailed(
     wall_times: Dict[str, float] = {}
     snapshots: Dict[str, object] = {}
     fault_counts: Dict[str, object] = {}
+    violations: Dict[str, object] = {}
     errors: List[str] = []
+    interrupted = False
+
+    def _collect(tup) -> None:
+        name, result, wall, ok, snaps, fsum, viol = tup
+        collected[name] = result
+        wall_times[name] = wall
+        snapshots[name] = snaps
+        fault_counts[name] = fsum
+        violations[name] = viol
+        if not ok:
+            errors.append(name)
+
     t0 = time.perf_counter()
-    if jobs > 1 and len(names) > 1:
+    if timeout is not None:
+        tuples, interrupted = _run_supervised(
+            names, quick, max(1, jobs), timeout, retries, retry_backoff,
+            collect_metrics, fault_spec, verify, progress)
+        for tup in tuples:
+            _collect(tup)
+    elif jobs > 1 and len(names) > 1:
         worker = functools.partial(_run_one, quick=quick,
                                    metrics=collect_metrics,
-                                   fault_spec=fault_spec)
+                                   fault_spec=fault_spec, verify=verify)
         with multiprocessing.Pool(processes=min(jobs, len(names))) as pool:
-            for name, result, wall, ok, snaps, fsum in pool.imap_unordered(
-                    worker, names):
-                collected[name] = result
-                wall_times[name] = wall
-                snapshots[name] = snaps
-                fault_counts[name] = fsum
-                if not ok:
-                    errors.append(name)
-                progress(f"[{name}] done in {wall:.1f}s")
+            try:
+                for tup in pool.imap_unordered(worker, names):
+                    _collect(tup)
+                    progress(f"[{tup[0]}] done in {tup[2]:.1f}s")
+            except KeyboardInterrupt:
+                interrupted = True
+                pool.terminate()
     else:
         for name in names:
             progress(f"[{name}] running ...")
-            _, result, wall, ok, snaps, fsum = _run_one(
-                name, quick, metrics=collect_metrics, fault_spec=fault_spec)
-            collected[name] = result
-            wall_times[name] = wall
-            snapshots[name] = snaps
-            fault_counts[name] = fsum
-            if not ok:
-                errors.append(name)
-            progress(f"[{name}] done in {wall:.1f}s")
-    results = {name: collected[name] for name in names}
+            try:
+                tup = _run_one(name, quick, metrics=collect_metrics,
+                               fault_spec=fault_spec, verify=verify)
+            except KeyboardInterrupt:
+                interrupted = True
+                progress(f"[{name}] interrupted")
+                break
+            _collect(tup)
+            progress(f"[{name}] done in {tup[2]:.1f}s")
+    finished = [name for name in names if name in collected]
+    results = {name: collected[name] for name in finished}
     meta = {
         "quick": quick,
         "jobs": jobs,
         #: the resolved --only selection in registry order (None = all)
         "only": selection,
-        "wall_times_s": {name: round(wall_times[name], 3) for name in names},
+        "wall_times_s": {name: round(wall_times[name], 3)
+                         for name in finished},
         "total_wall_s": round(time.perf_counter() - t0, 3),
-        "errors": [name for name in names if name in errors],
+        "errors": [name for name in finished if name in errors],
+        "interrupted": interrupted,
     }
+    if interrupted:
+        meta["not_run"] = [n for n in names if n not in collected]
+    if timeout is not None:
+        meta["timeout_s"] = timeout
     if collect_metrics:
-        meta["metrics_snapshots"] = {name: snapshots[name] for name in names}
+        meta["metrics_snapshots"] = {name: snapshots[name]
+                                     for name in finished}
     if fault_spec is not None:
-        meta["fault_injections"] = {name: fault_counts[name] for name in names}
+        meta["fault_injections"] = {name: fault_counts[name]
+                                    for name in finished}
+    if verify:
+        meta["invariant_violations"] = {
+            name: violations[name] for name in finished
+            if violations.get(name)
+        }
     return results, meta
 
 
@@ -307,6 +505,26 @@ def main(argv=None) -> int:
                              "every experiment's network (see "
                              "docs/faults.md); per-experiment injection "
                              "counts land in the output's _meta section")
+    parser.add_argument("--verify", action="store_true",
+                        help="attach the live invariant engine "
+                             "(repro.verify) to every experiment; "
+                             "violations land in "
+                             "_meta.invariant_violations and fail the "
+                             "run (see docs/robustness.md)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="supervised mode: run each experiment in a "
+                             "watched process killed after SECONDS of "
+                             "wall clock; a hung experiment becomes a "
+                             "recorded failure instead of hanging the "
+                             "batch")
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="with --timeout: retry a crashed (not "
+                             "timed-out) worker up to N times")
+    parser.add_argument("--retry-backoff", type=float, default=2.0,
+                        metavar="SECONDS",
+                        help="with --retries: initial backoff before a "
+                             "retry, doubled per attempt (default 2.0)")
     args = parser.parse_args(argv)
     if args.list:
         for name in experiment_registry(args.quick):
@@ -328,11 +546,15 @@ def main(argv=None) -> int:
             fault_spec = FaultSchedule.from_json(args.faults).to_dict()
         except (OSError, ValueError) as exc:
             parser.error(f"--faults {args.faults}: {exc}")
+    if args.retries and args.timeout is None:
+        parser.error("--retries requires --timeout (supervised mode)")
     try:
         results, meta = run_all_detailed(
             quick=args.quick, only=only, jobs=args.jobs,
             collect_metrics=args.metrics_out is not None,
-            fault_spec=fault_spec)
+            fault_spec=fault_spec, verify=args.verify,
+            timeout=args.timeout, retries=args.retries,
+            retry_backoff=args.retry_backoff)
     except ValueError as exc:  # e.g. a typo'd --only name
         parser.error(str(exc))
     if args.metrics_out is not None:
@@ -346,8 +568,18 @@ def main(argv=None) -> int:
         json.dump(document, fh, indent=2, default=str)
     print(f"wrote {args.output} ({len(results)} experiments, "
           f"{meta['total_wall_s']:.1f}s wall)")
+    if meta.get("invariant_violations"):
+        count = sum(len(v) for v in meta["invariant_violations"].values())
+        print(f"invariant violations in "
+              f"{sorted(meta['invariant_violations'])} "
+              f"({count} total)", file=sys.stderr)
+    if meta["interrupted"]:
+        print("interrupted; partial results written", file=sys.stderr)
+        return 130
     if meta["errors"]:
         print(f"experiments with errors: {meta['errors']}", file=sys.stderr)
+        return 1
+    if meta.get("invariant_violations"):
         return 1
     return 0
 

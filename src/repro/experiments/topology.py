@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro import faults as _faults
+from repro import verify as _verify
 from repro.net.node import Node, NodeConfig
 from repro.net.routing import MeshRouting, StaticRouting
 from repro.net.wired import CloudHost, WiredLink
@@ -54,6 +55,8 @@ class Network:
     leaf_ids: List[int] = field(default_factory=list)
     #: FaultInjector armed via repro.faults.auto_inject (None otherwise)
     faults: Optional[object] = None
+    #: InvariantEngine attached via repro.verify.auto_verify (None otherwise)
+    verify: Optional[object] = None
 
     def node(self, node_id: int) -> Node:
         """Convenience accessor."""
@@ -91,6 +94,7 @@ def build_pair(
     }
     net = Network(sim, rng, medium, nodes, routing)
     net.faults = _faults.maybe_attach(net)
+    net.verify = _verify.maybe_attach(net)
     return net
 
 
@@ -156,6 +160,7 @@ def build_chain(
     if with_cloud:
         _attach_cloud(net, nodes[0], wired_loss=wired_loss)
     net.faults = _faults.maybe_attach(net)
+    net.verify = _verify.maybe_attach(net)
     return net
 
 
@@ -216,6 +221,7 @@ def build_testbed(
             nodes[leaf].make_sleepy(nodes[parent], poll=leaf_poll)
     _attach_cloud(net, nodes[1], wired_loss=wired_loss)
     net.faults = _faults.maybe_attach(net)
+    net.verify = _verify.maybe_attach(net)
     return net
 
 
@@ -296,6 +302,7 @@ def _finish_mesh(
     if with_cloud:
         _attach_cloud(net, nodes[0], wired_loss=wired_loss)
     net.faults = _faults.maybe_attach(net)
+    net.verify = _verify.maybe_attach(net)
     return net
 
 

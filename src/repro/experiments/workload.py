@@ -100,21 +100,28 @@ class BulkTransfer:
         self.errors: List[str] = []
         self._payload = payload_byte * self.CHUNK
 
-        def on_accept(conn):
-            conn.on_data = self.meter.on_data
-
-        receiver_stack.listen(port, on_accept, params=receiver_params)
+        receiver_stack.listen(port, self._on_accept, params=receiver_params)
         self._conn = sender_stack.connect(
             receiver_id, port, params=params, dst_is_cloud=dst_is_cloud
         )
         self._conn.on_connect = self._on_connect
         self._conn.on_send_space = self._fill
-        self._conn.on_error = self.errors.append
+        self._conn.on_error = self._on_error
 
     @property
     def connection(self):
         """The sender-side socket (for cwnd traces etc.)."""
         return self._conn
+
+    # Bound methods throughout (no closures / builtin-method refs): the
+    # whole harness must clone with the simulation under
+    # repro.sim.checkpoint, and a closure would keep pointing at the
+    # original object graph after a restore.
+    def _on_accept(self, conn) -> None:
+        conn.on_data = self.meter.on_data
+
+    def _on_error(self, err) -> None:
+        self.errors.append(err)
 
     def _on_connect(self) -> None:
         self.connected = True
@@ -189,20 +196,23 @@ class SensorStream:
         self._tick_event = None
         self._interval = interval
 
-        def on_accept(conn):
-            conn.on_data = self.meter.on_data
-
-        receiver_stack.listen(port, on_accept, params=receiver_params)
+        receiver_stack.listen(port, self._on_accept, params=receiver_params)
         self._conn = sender_stack.connect(
             receiver_id, port, params=params, dst_is_cloud=dst_is_cloud
         )
         self._conn.on_connect = self._on_connect
-        self._conn.on_error = self.errors.append
+        self._conn.on_error = self._on_error
 
     @property
     def connection(self):
         """The sender-side socket."""
         return self._conn
+
+    def _on_accept(self, conn) -> None:
+        conn.on_data = self.meter.on_data
+
+    def _on_error(self, err) -> None:
+        self.errors.append(err)
 
     def _on_connect(self) -> None:
         self.connected = True

@@ -83,7 +83,7 @@ class FaultInjector:
                     link=fault["link"], stream=f"fault-corrupt:{i}",
                     at=fault["at"], until=fault["until"],
                     on_corrupt=self._on_corrupt,
-                    clock=lambda: self.sim.now,
+                    clock=self._clock_now,  # checkpoint-safe (no lambda)
                 )
                 medium.frame_filters.append(model)
                 self.models.append(model)
@@ -144,6 +144,9 @@ class FaultInjector:
 
     def _on_corrupt(self, sender: int, receiver: int, kind: str) -> None:
         self._record("frame_corrupted", receiver, sender=sender, mode=kind)
+
+    def _clock_now(self) -> float:
+        return self.sim.now
 
     # ------------------------------------------------------------------
     # logging

@@ -1,130 +1,25 @@
-"""End-to-end invariant checks for fault-injected runs.
+"""Compatibility shim — the checkers moved to :mod:`repro.verify.postrun`.
 
-Chaos runs are only useful if violations are machine-detectable.  Each
-checker returns a list of human-readable violation strings (empty =
-pass); :func:`check_all` aggregates them for the CI smoke job, which
-fails the build on any violation.
-
-The contract being checked (paper §2's case for TCP):
-
-1. **Stream integrity** — whatever the network did, the receiver's
-   byte stream is exactly the sender's (or, on a declared error, a
-   strict prefix of it).  Silent corruption/reordering never passes.
-2. **Clean teardown** — once every connection on a stack is gone, no
-   ``tcp-*`` timer may still be armed in the scheduler (a leaked timer
-   keeps a dead connection's events firing forever).
-3. **Recover or fail within a bound** — after the last injected fault,
-   a connection either finishes its work or reports an error within a
-   configurable horizon; limbo is a bug.
+This module kept its import path so existing tests, CI scripts and
+downstream users keep working; new code should import from
+:mod:`repro.verify` (which also carries the live
+:class:`~repro.verify.engine.InvariantEngine` counterparts).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from repro.verify.postrun import (
+    check_all,
+    check_no_armed_tcp_timers,
+    check_quiescent,
+    check_recovery_bound,
+    check_stream_integrity,
+)
 
-
-def check_stream_integrity(
-    sent: bytes, received: bytes, errors: Sequence[object] = (),
-    label: str = "stream",
-) -> List[str]:
-    """Received bytes must equal sent bytes (prefix on declared error)."""
-    violations: List[str] = []
-    if not errors:
-        if received != sent:
-            violations.append(
-                f"{label}: received {len(received)}/{len(sent)} bytes "
-                f"without a declared error"
-                + ("" if received == sent[: len(received)]
-                   else " and the prefix is corrupted")
-            )
-    else:
-        if received != sent[: len(received)]:
-            violations.append(
-                f"{label}: connection failed but delivered bytes are not "
-                f"a prefix of the sent stream (silent corruption)"
-            )
-    return violations
-
-
-def check_no_armed_tcp_timers(sim, label: str = "teardown") -> List[str]:
-    """No ``tcp-*`` timer may be armed once all connections are closed.
-
-    Scans the scheduler's pending events; a :class:`repro.sim.timers.
-    Timer` event wraps the timer's bound ``_fire`` method, so the
-    owning timer (and its name) is recoverable from the callback.
-    """
-    violations: List[str] = []
-    for ev in sim.pending_events():
-        owner = getattr(ev.fn, "__self__", None)
-        name = getattr(owner, "name", "")
-        if isinstance(name, str) and name.startswith("tcp-"):
-            violations.append(
-                f"{label}: timer '{name}' still armed at t={ev.time:.3f} "
-                f"after all connections closed"
-            )
-    return violations
-
-
-def check_quiescent(sim, stacks: Sequence[object],
-                    label: str = "quiescence") -> List[str]:
-    """All stacks empty *and* no TCP timer armed (clean-teardown check)."""
-    violations: List[str] = []
-    for stack in stacks:
-        live = stack.active_connections()
-        if live:
-            violations.append(
-                f"{label}: node {stack.node_id} still holds {live} "
-                f"connection(s) at t={sim.now:.3f}"
-            )
-    if not violations:
-        violations.extend(check_no_armed_tcp_timers(sim, label=label))
-    return violations
-
-
-def check_recovery_bound(
-    done_at: Optional[float], last_fault_at: float, bound: float,
-    errors: Sequence[object] = (), label: str = "recovery",
-) -> List[str]:
-    """The transfer must finish (or declare failure) within ``bound``
-    seconds of the last injected fault.
-
-    ``done_at`` is the sim time the application saw completion (None if
-    it never completed); a declared error also counts as a clean
-    outcome — limbo is the only violation.
-    """
-    if errors:
-        return []
-    if done_at is None:
-        return [
-            f"{label}: transfer neither completed nor failed within "
-            f"{bound:.1f}s of the last fault (t={last_fault_at:.3f})"
-        ]
-    if done_at > last_fault_at + bound:
-        return [
-            f"{label}: completion at t={done_at:.3f} exceeded the "
-            f"{bound:.1f}s recovery bound after the last fault "
-            f"(t={last_fault_at:.3f})"
-        ]
-    return []
-
-
-def check_all(
-    sim,
-    stacks: Sequence[object] = (),
-    sent: Optional[bytes] = None,
-    received: Optional[bytes] = None,
-    errors: Sequence[object] = (),
-    done_at: Optional[float] = None,
-    last_fault_at: Optional[float] = None,
-    recovery_bound: float = 60.0,
-) -> List[str]:
-    """Run every applicable invariant; returns all violations."""
-    violations: List[str] = []
-    if sent is not None and received is not None:
-        violations.extend(check_stream_integrity(sent, received, errors))
-    if stacks:
-        violations.extend(check_quiescent(sim, stacks))
-    if last_fault_at is not None:
-        violations.extend(check_recovery_bound(
-            done_at, last_fault_at, recovery_bound, errors))
-    return violations
+__all__ = [
+    "check_all",
+    "check_no_armed_tcp_timers",
+    "check_quiescent",
+    "check_recovery_bound",
+    "check_stream_integrity",
+]

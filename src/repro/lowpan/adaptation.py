@@ -25,6 +25,28 @@ from repro.sim.trace import TraceRecorder
 MULTICAST_ALL = 0xFFFF
 
 
+class _FragCompletion:
+    """Joins per-fragment MAC outcomes into one datagram callback.
+
+    A plain object rather than a closure so it clones correctly with
+    the rest of the event graph under checkpoint deepcopy/pickle.
+    """
+
+    __slots__ = ("remaining", "ok", "on_done")
+
+    def __init__(self, remaining: int, on_done: Callable[[bool], None]):
+        self.remaining = remaining
+        self.ok = True
+        self.on_done = on_done
+
+    def __call__(self, success: bool) -> None:
+        if not success:
+            self.ok = False
+        self.remaining -= 1
+        if self.remaining == 0 and self.on_done is not None:
+            self.on_done(self.ok)
+
+
 class LowpanAdaptation:
     """Binds a node's network layer to its MAC through 6LoWPAN."""
 
@@ -49,7 +71,10 @@ class LowpanAdaptation:
         self.reassemble_per_hop = reassemble_per_hop
         # By default a node reassembles datagrams addressed to it; a
         # border router also reassembles datagrams leaving the mesh.
-        self._should_reassemble = should_reassemble or (lambda dst: dst == node_id)
+        # (A bound method, not a lambda, so the object graph stays
+        # picklable for checkpoints.)
+        self._should_reassemble = (
+            should_reassemble or self._reassemble_if_local)
         self.fragmenter = Fragmenter(node_id)
         self.reassembler = Reassembler(
             sim, timeout=reassembly_timeout, trace=self.trace, node_id=node_id
@@ -103,22 +128,16 @@ class LowpanAdaptation:
         if self._m_datagrams is not None:
             self._m_datagrams.inc()
             self._m_fragments.inc(len(frags))
-        remaining = [len(frags)]
-        all_ok = [True]
-
-        def frag_done(success: bool) -> None:
-            if not success:
-                all_ok[0] = False
-            remaining[0] -= 1
-            if remaining[0] == 0 and on_done is not None:
-                on_done(all_ok[0])
-
+        frag_done = _FragCompletion(len(frags), on_done)
         for frag in frags:
             self.mac.send(frag, frag.wire_bytes, next_hop, on_done=frag_done)
 
     def frames_for(self, datagram_bytes: int) -> int:
         """Frames needed for a datagram of this compressed size."""
         return self.fragmenter.frames_for(datagram_bytes)
+
+    def _reassemble_if_local(self, dst: int) -> bool:
+        return dst == self.node_id
 
     # ------------------------------------------------------------------
     # receive / forward path

@@ -15,6 +15,7 @@ IPv6 header (and therefore the routing information).
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -185,7 +186,11 @@ class Reassembler:
                     self._m_overflow.inc()
                 return None
             part = _PartialDatagram(size=frag.datagram_size)
-            part.timer = Timer(self.sim, lambda k=key: self._expire(k), "reasm")
+            # partial over a bound method (not a lambda): the GC callback
+            # must survive checkpoint deepcopy/pickle with the rest of
+            # the event graph (repro.sim.checkpoint)
+            part.timer = Timer(
+                self.sim, functools.partial(self._expire, key), "reasm")
             part.timer.start(self.timeout)
             self._partials[key] = part
         span = (frag.offset, frag.length)

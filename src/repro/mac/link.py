@@ -20,6 +20,7 @@ The layer exposes ``send`` downward-facing semantics to 6LoWPAN and an
 
 from __future__ import annotations
 
+import functools
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Dict, Optional, Set
@@ -458,22 +459,10 @@ class MacLayer:
             return
         op = q.popleft()
         op.frame.pending = len(q) > 0  # App. C: keep child awake if more
-        original_done = op.on_done
-
-        def done(success: bool, _op=op, _child=child) -> None:
-            if success:
-                if original_done is not None:
-                    original_done(True)
-                # keep draining while the child is listening
-                self._release_indirect(_child)
-            else:
-                # park it again; the child will poll later
-                self.trace.counters.incr("mac.indirect_requeue")
-                _op.on_done = original_done
-                _op.retries = 0
-                self._indirect.setdefault(_child, deque()).appendleft(_op)
-
-        op.on_done = done
+        # bound-method partial (not a closure) so the op's completion
+        # hook survives checkpoint deepcopy/pickle
+        op.on_done = functools.partial(
+            self._indirect_done, op, child, op.on_done)
         # §9.5 improvement 1: indirect messages are prioritised over the
         # current packet being sent — they jump the queue, and an op
         # that is still contending for the channel (not yet on the air,
@@ -491,3 +480,23 @@ class MacLayer:
             self._current = None  # orphans cur's pending CSMA events
             self._queue.insert(1, cur)
         self._kick()
+
+    def _indirect_done(
+        self,
+        op: _TxOp,
+        child: int,
+        original_done: Optional[Callable[[bool], None]],
+        success: bool,
+    ) -> None:
+        """Completion hook for an indirect frame released by a poll."""
+        if success:
+            if original_done is not None:
+                original_done(True)
+            # keep draining while the child is listening
+            self._release_indirect(child)
+        else:
+            # park it again; the child will poll later
+            self.trace.counters.incr("mac.indirect_requeue")
+            op.on_done = original_done
+            op.retries = 0
+            self._indirect.setdefault(child, deque()).appendleft(op)

@@ -12,6 +12,7 @@ LLN, and TCP/CoAP carry their own recovery).
 
 from __future__ import annotations
 
+import functools
 import struct
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
@@ -80,7 +81,8 @@ class IcmpStack:
         self._next_ident += 1
         echo = IcmpEcho(TYPE_ECHO_REQUEST, ident, 1, payload_bytes)
         key = (ident, 1)
-        timer = Timer(self.sim, lambda: self._timeout(key), "ping")
+        # checkpoint-safe callback (bound-method partial, not a lambda)
+        timer = Timer(self.sim, functools.partial(self._timeout, key), "ping")
         timer.start(timeout)
         self._pending[key] = (self.sim.now, on_reply, timer)
         self.trace.counters.incr("icmp.echo_requests")

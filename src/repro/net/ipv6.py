@@ -118,6 +118,24 @@ def decode_header(data: bytes) -> Ipv6Packet:
     )
 
 
+class _ChainedHandler:
+    """Two transport handlers on one protocol number, called in order.
+
+    A callable object (not a closure) so a registered chain clones
+    correctly under checkpoint deepcopy/pickle.
+    """
+
+    __slots__ = ("first", "second")
+
+    def __init__(self, first, second):
+        self.first = first
+        self.second = second
+
+    def __call__(self, packet) -> None:
+        self.first(packet)
+        self.second(packet)
+
+
 class Ipv6Layer:
     """The network layer of one mesh node."""
 
@@ -165,11 +183,7 @@ class Ipv6Layer:
         if existing is None:
             self._handlers[next_header] = handler
         else:
-            def chained(packet, _a=existing, _b=handler):
-                _a(packet)
-                _b(packet)
-
-            self._handlers[next_header] = chained
+            self._handlers[next_header] = _ChainedHandler(existing, handler)
 
     # ------------------------------------------------------------------
     # origination

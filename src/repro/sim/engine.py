@@ -130,6 +130,13 @@ class Simulator:
         #: assigns them *before* building the network — layers cache
         #: their instruments at construction time.
         self.metrics, self.trace_bus = _metrics.attach(self)
+        #: explicit registry of armed :class:`repro.sim.timers.Timer` /
+        #: ``PeriodicTimer`` instances.  Timers add themselves on start
+        #: and remove themselves on stop/fire, so invariant checks (e.g.
+        #: "no tcp-* timer armed after teardown") ask the simulator
+        #: directly instead of introspecting ``ev.fn.__self__`` on the
+        #: heap.
+        self._armed_timers: set = set()
 
     # ------------------------------------------------------------------
     # scheduling
@@ -316,10 +323,18 @@ class Simulator:
         return sum(1 for entry in self._queue if not entry[2].cancelled)
 
     def pending_events(self) -> List[Event]:
-        """The non-cancelled events still queued, in heap order (O(n)).
-
-        For post-run invariant checks (e.g. "no TCP timer left armed
-        after teardown"): a ``Timer``'s event wraps its bound ``_fire``
-        method, so ``ev.fn.__self__`` recovers the owning timer.
-        """
+        """The non-cancelled events still queued, in heap order (O(n))."""
         return [entry[2] for entry in self._queue if not entry[2].cancelled]
+
+    def armed_timers(self) -> List[object]:
+        """Timers currently armed on this simulator, (expiry, name) order.
+
+        The registry is maintained by ``Timer``/``PeriodicTimer``
+        themselves (add on start, discard on stop/fire), so this is the
+        authoritative ownership record — unlike heap introspection it
+        cannot be fooled by tombstones or by non-timer callbacks that
+        happen to have a ``name`` attribute.
+        """
+        armed = [t for t in self._armed_timers if t.armed]
+        armed.sort(key=lambda t: (t.expiry, t.name))
+        return armed

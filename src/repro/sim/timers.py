@@ -13,6 +13,18 @@ from typing import Any, Callable, Optional
 
 from repro.sim.engine import Event, Simulator
 
+#: When True (the default), timers record themselves in their
+#: simulator's armed-timer registry on start and withdraw on stop/fire.
+#: ``tools/bench.py --verify-overhead`` flips this off to measure what
+#: the bookkeeping costs relative to a registry-free build.
+_registry_enabled = True
+
+
+def registry_enabled(enable: bool) -> None:
+    """Toggle armed-timer registration for *subsequently built* timers."""
+    global _registry_enabled
+    _registry_enabled = enable
+
 
 class Timer:
     """A restartable one-shot timer.
@@ -26,6 +38,9 @@ class Timer:
         self.callback = callback
         self.name = name
         self._event: Optional[Event] = None
+        self._registry = (
+            getattr(sim, "_armed_timers", None) if _registry_enabled else None
+        )
 
     @property
     def armed(self) -> bool:
@@ -44,6 +59,8 @@ class Timer:
         """(Re)arm the timer ``delay`` seconds from now."""
         self.stop()
         self._event = self.sim.schedule(delay, self._fire)
+        if self._registry is not None:
+            self._registry.add(self)
 
     def start_if_idle(self, delay: float) -> None:
         """Arm the timer only if it is not already armed."""
@@ -55,6 +72,8 @@ class Timer:
         if self._event is not None:
             self._event.cancel()
             self._event = None
+        if self._registry is not None:
+            self._registry.discard(self)
 
     def remaining(self) -> float:
         """Seconds until expiry (0.0 if not armed)."""
@@ -65,6 +84,8 @@ class Timer:
 
     def _fire(self) -> None:
         self._event = None
+        if self._registry is not None:
+            self._registry.discard(self)
         self.callback()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -88,6 +109,9 @@ class PeriodicTimer:
         self.name = name
         self._event: Optional[Event] = None
         self._interval: Optional[float] = None
+        self._registry = (
+            getattr(sim, "_armed_timers", None) if _registry_enabled else None
+        )
 
     @property
     def armed(self) -> bool:
@@ -99,11 +123,21 @@ class PeriodicTimer:
         """The period currently in force, or None when stopped."""
         return self._interval if self.armed else None
 
+    @property
+    def expiry(self) -> Optional[float]:
+        """Absolute time of the next tick, or None when stopped."""
+        if self.armed:
+            assert self._event is not None
+            return self._event.time
+        return None
+
     def start(self, interval: float) -> None:
         """(Re)start firing every ``interval`` seconds, first in ``interval``."""
         self.stop()
         self._event = self.sim.schedule_periodic(interval, self.callback)
         self._interval = interval
+        if self._registry is not None:
+            self._registry.add(self)
 
     def ensure(self, interval: float) -> None:
         """Keep the cadence if unchanged; otherwise restart at ``interval``."""
@@ -116,6 +150,8 @@ class PeriodicTimer:
             self._event.cancel()
             self._event = None
             self._interval = None
+        if self._registry is not None:
+            self._registry.discard(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = (

@@ -164,6 +164,11 @@ class TraceBus:
         self.capacity = capacity
         self._events: deque = deque(maxlen=capacity)
         self.emitted = 0  # total ever emitted (ring may have dropped some)
+        #: live subscribers called with each TraceEvent as it is emitted
+        #: (the invariant engine's on-event evaluation hook); kept empty
+        #: unless someone subscribes, so plain captures pay one truthy
+        #: check per emit.
+        self._subscribers: List = []
 
     def emit(self, layer: str, node: int, kind: str, /, **fields) -> None:
         """Record one event at the current simulated time.
@@ -173,9 +178,25 @@ class TraceBus:
         (e.g. a retransmit event's ``kind=rto|fast|sack`` detail).
         """
         self.emitted += 1
-        self._events.append(
-            TraceEvent(self.sim.now, layer, node, kind, fields)
-        )
+        event = TraceEvent(self.sim.now, layer, node, kind, fields)
+        self._events.append(event)
+        if self._subscribers:
+            for fn in self._subscribers:
+                fn(event)
+
+    def subscribe(self, fn) -> None:
+        """Call ``fn(event)`` on every subsequent emit (live consumers).
+
+        Subscribers must not emit onto the same bus from inside the
+        callback (no re-entrancy guard — keep them read-only).
+        """
+        if fn not in self._subscribers:
+            self._subscribers.append(fn)
+
+    def unsubscribe(self, fn) -> None:
+        """Remove a subscriber added with :meth:`subscribe` (idempotent)."""
+        if fn in self._subscribers:
+            self._subscribers.remove(fn)
 
     def __len__(self) -> int:
         return len(self._events)

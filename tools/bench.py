@@ -195,6 +195,48 @@ def compare_metrics_to_golden(snapshots: dict, golden: dict) -> list:
     return diffs
 
 
+def check_verify_overhead(trials: int = 5, budget: float = 0.01) -> int:
+    """Gate: disabled self-verification must cost <``budget`` wall time.
+
+    With no :class:`repro.verify.InvariantEngine` attached (the default
+    for every benchmark and experiment), the only always-on cost the
+    robustness layer adds is the armed-timer registry bookkeeping in
+    ``repro.sim.timers``.  This runs dense_mesh at smoke duration
+    ``trials`` times each with the registry off (the pre-feature
+    kernel) and on (the shipped default), interleaved so machine-load
+    drift hits both arms equally, and compares best-of CPU times
+    (``time.process_time`` — wall clock is far too noisy for a 1%
+    budget on a shared machine).
+    """
+    from repro.sim import timers as timers_mod
+
+    fn, smoke_dur, _full = scenarios.SCENARIOS["dense_mesh"]
+    best = {False: float("inf"), True: float("inf")}
+    try:
+        for trial in range(trials):
+            for enabled in (False, True):
+                timers_mod.registry_enabled(enabled)
+                t0 = time.process_time()
+                fn(duration=smoke_dur)
+                cpu = time.process_time() - t0
+                best[enabled] = min(best[enabled], cpu)
+                print(f"  trial {trial + 1}/{trials} "
+                      f"registry={'on' if enabled else 'off'}: "
+                      f"{cpu:.3f}s cpu")
+    finally:
+        timers_mod.registry_enabled(True)  # the shipped default
+    overhead = (best[True] - best[False]) / best[False]
+    print(f"verify-overhead: registry off {best[False]:.3f}s, "
+          f"on {best[True]:.3f}s -> {overhead:+.2%} (budget "
+          f"{budget:.0%})")
+    if overhead >= budget:
+        print(f"FAIL verify-overhead {overhead:+.2%} >= {budget:.0%}",
+              file=sys.stderr)
+        return EXIT_PERF
+    print("verify-overhead OK")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
@@ -221,7 +263,17 @@ def main(argv=None) -> int:
     parser.add_argument("--metrics-out", default=None, metavar="PATH",
                         help="write metrics snapshots from the gate run "
                              "to PATH (CI artifact)")
+    parser.add_argument("--verify-overhead", action="store_true",
+                        help="assert that the disabled self-verification "
+                             "machinery (armed-timer registry; no "
+                             "invariant engine attached) costs <1%% "
+                             "wall time on dense_mesh (exit 1 on "
+                             "regression)")
     args = parser.parse_args(argv)
+
+    if args.verify_overhead:
+        return check_verify_overhead(
+            trials=args.trials if args.trials is not None else 5)
 
     if args.metrics_gate or args.update_metrics_golden:
         snapshots = run_metrics_snapshots(only=args.only)
