@@ -58,9 +58,10 @@ def _stack(net, node_id: int, **kwargs) -> TcpStack:
                     sleepy=node.sleepy, **kwargs)
 
 
-def one_hop_bulk(duration: float = 60.0, seed: int = 1) -> Dict:
+def one_hop_bulk(duration: float = 60.0, seed: int = 1,
+                 accel: bool = False, fidelity: str = "full") -> Dict:
     """Bulk TCP transfer between two embedded nodes, one clean hop."""
-    net = build_pair(seed=seed)
+    net = build_pair(seed=seed, accel=accel, fidelity=fidelity)
     params = tcplp_params()
     src, dst = _stack(net, 1), _stack(net, 0)
     xfer = BulkTransfer(net.sim, src, dst, receiver_id=0, params=params,
@@ -76,9 +77,10 @@ def one_hop_bulk(duration: float = 60.0, seed: int = 1) -> Dict:
     }
 
 
-def three_hop_hidden(duration: float = 60.0, seed: int = 1) -> Dict:
+def three_hop_hidden(duration: float = 60.0, seed: int = 1,
+                     accel: bool = False, fidelity: str = "full") -> Dict:
     """Bulk TCP over the 3-hop hidden-terminal chain (§7.1 setup)."""
-    net = build_chain(3, seed=seed)
+    net = build_chain(3, seed=seed, accel=accel, fidelity=fidelity)
     for n in net.nodes.values():
         n.mac.params.retry_delay = 0.04
     params = tcplp_params(window_segments=4)
@@ -96,9 +98,10 @@ def three_hop_hidden(duration: float = 60.0, seed: int = 1) -> Dict:
     }
 
 
-def duty_cycled_polling(duration: float = 60.0, seed: int = 0) -> Dict:
+def duty_cycled_polling(duration: float = 60.0, seed: int = 0,
+                        accel: bool = False, fidelity: str = "full") -> Dict:
     """Uplink bulk transfer from a duty-cycled (polling) endpoint."""
-    net = build_pair(seed=seed)
+    net = build_pair(seed=seed, accel=accel, fidelity=fidelity)
     poll = PollParams(poll_interval=0.1, fast_poll_interval=0.1,
                       listen_window=0.1,
                       hold_uplink_while_listening=True)
@@ -120,14 +123,15 @@ def duty_cycled_polling(duration: float = 60.0, seed: int = 0) -> Dict:
 
 
 def loss_sweep(duration: float = 40.0, seed: int = 1,
-               rates=(0.0, 0.09, 0.18)) -> Dict:
+               rates=(0.0, 0.09, 0.18),
+               accel: bool = False, fidelity: str = "full") -> Dict:
     """Figure 9-style sweep: one-hop bulk under ambient frame loss."""
     events = 0
     delivered = 0
     goodputs = []
     wall = 0.0
     for rate in rates:
-        net = build_pair(seed=seed)
+        net = build_pair(seed=seed, accel=accel, fidelity=fidelity)
         if rate > 0:
             net.medium.loss_models.append(UniformLoss(rate, net.rng))
         params = tcplp_params()
@@ -148,7 +152,8 @@ def loss_sweep(duration: float = 40.0, seed: int = 1,
     }
 
 
-def chaos_faults(duration: float = 40.0, seed: int = 7) -> Dict:
+def chaos_faults(duration: float = 40.0, seed: int = 7,
+                 accel: bool = False, fidelity: str = "full") -> Dict:
     """Compound fault schedule on a 2-hop chain (docs/faults.md).
 
     The relay (node 1) crashes mid-transfer and cold-restarts 3 s
@@ -159,7 +164,8 @@ def chaos_faults(duration: float = 40.0, seed: int = 7) -> Dict:
     """
     from repro.faults import FaultInjector, FaultSchedule
 
-    net = build_chain(2, seed=seed, with_cloud=False)
+    net = build_chain(2, seed=seed, with_cloud=False,
+                      accel=accel, fidelity=fidelity)
     for n in net.nodes.values():
         n.mac.params.retry_delay = 0.04
     schedule = FaultSchedule.from_dict({
@@ -191,7 +197,8 @@ def chaos_faults(duration: float = 40.0, seed: int = 7) -> Dict:
     }
 
 
-def dense_mesh(duration: float = 20.0, seed: int = 3) -> Dict:
+def dense_mesh(duration: float = 20.0, seed: int = 3,
+               accel: bool = False, fidelity: str = "full") -> Dict:
     """24 concurrent TCP flows across a 100-node router grid.
 
     Flow pattern (all 3-4 hop Manhattan routes, senders spread over the
@@ -202,7 +209,8 @@ def dense_mesh(duration: float = 20.0, seed: int = 3) -> Dict:
     established flows — the regime a production mesh actually sees.
     """
     rows = cols = 10
-    net = build_grid_mesh(rows, cols, seed=seed)
+    net = build_grid_mesh(rows, cols, seed=seed, accel=accel,
+                          fidelity=fidelity)
     params = tcplp_params(window_segments=2)
     specs = []
     # west-bound: rightmost column toward mid-grid, one per row 0..8

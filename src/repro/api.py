@@ -13,6 +13,10 @@ The surface, by area:
 
 **Simulation kernel** —
 :class:`~repro.sim.engine.Simulator` (the discrete-event core),
+:func:`make_simulator` (kernel-tier selection: ``accel=True`` for the
+trace-identical accelerated kernel, ``fidelity="hybrid"`` for analytic
+bulk-transfer fast-forwarding; equivalently ``Simulator(accel=...,
+fidelity=...)``),
 :class:`~repro.sim.rng.RngStreams` (named deterministic RNG streams),
 :class:`~repro.sim.metrics.MetricsRegistry` (labelled counters /
 gauges / histograms with deterministic snapshots).
@@ -98,6 +102,23 @@ from repro.sim.rng import RngStreams
 from repro.verify import InvariantEngine
 
 
+def make_simulator(accel: bool = False, fidelity: str = "full") -> Simulator:
+    """Build a simulator on the requested kernel tier.
+
+    ``accel=False, fidelity="full"`` (the default) returns the oracle
+    kernel — the reference implementation every other tier is gated
+    against.  ``accel=True`` returns the accelerated kernel
+    (:class:`repro.sim.fastcore.FastSimulator`), which replays
+    byte-identical event traces at a higher event rate.
+    ``fidelity="hybrid"`` (implies accel) additionally fast-forwards
+    steady-state bulk-transfer phases analytically; hybrid runs are
+    gated on *metric* equivalence (goodput within 2%, identical
+    retransmit/fault counters), not trace equivalence.  The topology
+    builders accept the same two knobs and pass them through.
+    """
+    return Simulator(accel=accel, fidelity=fidelity)
+
+
 def run_experiments(quick: bool = True, only=None, jobs: int = 1,
                     progress=print, collect_metrics: bool = False,
                     fault_spec=None, verify: bool = False,
@@ -125,6 +146,7 @@ def run_experiments(quick: bool = True, only=None, jobs: int = 1,
 __all__ = [
     # kernel
     "Simulator",
+    "make_simulator",
     "RngStreams",
     "MetricsRegistry",
     # topologies

@@ -26,7 +26,7 @@ FLAG_ECE = 0x40
 FLAG_CWR = 0x80
 
 
-@dataclass
+@dataclass(slots=True)
 class Segment:
     """One TCP segment."""
 

@@ -30,7 +30,7 @@ FRAGN_HEADER_BYTES = 5
 MAX_FRAME_PAYLOAD = 104
 
 
-@dataclass
+@dataclass(slots=True)
 class Fragment:
     """One 6LoWPAN fragment (or an unfragmented datagram)."""
 
@@ -129,7 +129,7 @@ class Fragmenter:
         return frags
 
 
-@dataclass
+@dataclass(slots=True)
 class _PartialDatagram:
     size: int
     received: Set[Tuple[int, int]] = field(default_factory=set)

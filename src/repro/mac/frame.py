@@ -37,7 +37,7 @@ class FrameKind(enum.Enum):
     DATA_REQUEST = "command"  # the only MAC command we use
 
 
-@dataclass
+@dataclass(slots=True)
 class Frame:
     """A MAC frame in flight.
 

@@ -272,13 +272,27 @@ class MacLayer:
     def _backoff(self, op: _TxOp) -> None:
         if self._m_backoffs is not None:
             self._m_backoffs.inc()
-        slots = self._csma_rng.randint(0, (1 << op.be) - 1)
-        delay = slots * self.radio.params.unit_backoff
+        # Draw-identical inline of Random.randint(0, 2**be - 1): CPython's
+        # randrange -> _randbelow_with_getrandbits(n) does exactly this
+        # rejection loop, but its wrapper layers cost ~4us per draw at
+        # CSMA rates.  Must consume getrandbits identically so seeded
+        # traces match the oracle byte for byte (pinned by
+        # tests/test_fastcore_equivalence.py::test_backoff_draw_matches_randint).
+        # (getrandbits is looked up per draw, not cached at __init__:
+        # deepcopy treats bound builtin methods as atomic, so a cached
+        # one would still point at the pre-checkpoint RNG after restore.)
+        n = 1 << op.be
+        k = n.bit_length()
+        getrandbits = self._csma_rng.getrandbits
+        r = getrandbits(k)
+        while r >= n:
+            r = getrandbits(k)
+        delay = r * self.radio.params.unit_backoff
         if self.radio.deaf_csma:
             self.radio.go_deaf()
         else:
             self.radio.listen()
-        self.sim.schedule(delay, self._cca, op)
+        self.sim.schedule_unref(delay, self._cca, op)
 
     def _cca(self, op: _TxOp) -> None:
         if op is not self._current:
@@ -354,7 +368,7 @@ class MacLayer:
         if op.indirect_child is not None:
             d = min(d, 0.005)
         delay = self._retry_rng.uniform(0.0, d) if d > 0 else 0.0
-        self.sim.schedule(delay, self._retry_fire, op)
+        self.sim.schedule_unref(delay, self._retry_fire, op)
 
     def _retry_fire(self, op: _TxOp) -> None:
         if op is not self._current:
@@ -430,7 +444,7 @@ class MacLayer:
             pending=pending,
             ack_request=False,
         )
-        self.sim.schedule(self.radio.params.turnaround_time, self._ack_fire, ack)
+        self.sim.schedule_unref(self.radio.params.turnaround_time, self._ack_fire, ack)
 
     def _ack_fire(self, ack: Frame) -> None:
         if not self.radio.powered:

@@ -163,6 +163,12 @@ class Medium:
         #: sender -> [(rcv_id, radio), ...] in registration order; lets
         #: the delivery pass iterate without rebuilding pairs per frame
         self._neighbor_radios: Optional[Dict[int, List[Tuple[int, "Radio"]]]] = None
+        #: (a, b) sender-pair -> receivers that hear both (minus the two
+        #: senders themselves).  Topology is static between cache
+        #: invalidations, so the intersection behind collision marking
+        #: is computed once per concurrent-sender pair instead of once
+        #: per overlapping frame — the dominant cost in dense meshes.
+        self._pair_overlap: Dict[Tuple[int, int], Set[int]] = {}
         self.cache_rebuilds = 0
         self.frames_delivered = 0
         self.frames_collided = 0
@@ -174,6 +180,9 @@ class Medium:
         # label tuples.
         self._metrics = getattr(sim, "metrics", None)
         self._bus = getattr(sim, "trace_bus", None)
+        # In-flight transmissions hold absolute times outside the event
+        # heap; shift them when the hybrid tier warps the clock.
+        sim.warp_hooks.append(self._on_warp)
         if self._metrics is not None:
             self._m_tx: Dict[int, object] = {}
             self._m_collisions: Dict[int, object] = {}
@@ -181,6 +190,17 @@ class Medium:
             self._m_losses: Dict[int, object] = {}
             self._m_missed: Dict[int, object] = {}
             self._m_carrier_busy: Dict[int, object] = {}
+
+    def _on_warp(self, delta: float) -> None:
+        """Keep in-flight transmissions aligned with a warped clock.
+
+        The hybrid controller only cruises in steady state, where the
+        channel is typically idle at check boundaries, but a warp with
+        frames on the air must still preserve their remaining air time
+        and the listened-throughout window arithmetic."""
+        for tx in self._active:
+            tx.start += delta
+            tx.end += delta
 
     def _node_counter(self, cache: Dict[int, object], name: str,
                       node_id: int):
@@ -244,6 +264,7 @@ class Medium:
         self._neighbor_sets = None
         self._neighbor_lists = None
         self._neighbor_radios = None
+        self._pair_overlap.clear()
 
     def _in_range_uncached(self, a: int, b: int) -> bool:
         if a == b:
@@ -426,12 +447,19 @@ class Medium:
                 sets = self._neighbor_sets
                 if sets is None:
                     sets = self._build_cache()
-                hears_sender = sets[sender_id]
+                pairs = self._pair_overlap
                 for other in self._active:
                     other_id = other.sender.node_id
-                    both = hears_sender & sets[other_id]
-                    both.discard(sender_id)
-                    both.discard(other_id)
+                    key = (sender_id, other_id)
+                    both = pairs.get(key)
+                    if both is None:
+                        both = sets[sender_id] & sets[other_id]
+                        both.discard(sender_id)
+                        both.discard(other_id)
+                        # the overlap is symmetric; share one set under
+                        # both key orders (never mutated after build)
+                        pairs[key] = both
+                        pairs[(other_id, sender_id)] = both
                     if both:
                         tx.spoiled |= both
                         other.spoiled |= both
@@ -450,7 +478,9 @@ class Medium:
             self._node_counter(self._m_tx, "phy.tx", sender_id).inc()
         if self._bus is not None:
             self._bus.emit("phy", sender_id, "tx_begin", air_time=air_time)
-        self.sim.schedule(air_time, self._end_transmission, tx)
+        # Handle-free schedule: nothing ever cancels a frame's air-time
+        # expiry, so the accelerated kernel can skip the Event allocation.
+        self.sim.schedule_unref(air_time, self._end_transmission, tx)
         return tx
 
     def _end_transmission(self, tx: Transmission) -> None:

@@ -174,7 +174,8 @@ class Radio:
         self._load_busy = True
         spi = (self._air_base + frame_bytes * self._air_per_byte) * self._spi_factor
         self.cpu._busy += spi
-        self.sim.schedule(spi, self._finish_load, on_done, args)
+        # handle-free: an SPI load completion is never cancelled
+        self.sim.schedule_unref(spi, self._finish_load, on_done, args)
 
     def _finish_load(self, on_done: Callable[..., None], args: tuple = ()) -> None:
         if not self.powered:
@@ -207,7 +208,7 @@ class Radio:
         else:
             spi = (self._air_base + frame_bytes * self._air_per_byte) * self._spi_factor
             self.cpu._busy += spi
-            self.sim.schedule(spi, self._start_air, frame, frame_bytes, on_done, args)
+            self.sim.schedule_unref(spi, self._start_air, frame, frame_bytes, on_done, args)
 
     def transmit_loaded(
         self, frame: object, frame_bytes: int, on_done: Callable[..., None], *args: object
@@ -235,7 +236,7 @@ class Radio:
         energy._since = now
         air = self._air_base + frame_bytes * self._air_per_byte
         self.medium.begin_transmission(self, frame, air)
-        self.sim.schedule(air, self._end_air, on_done, args)
+        self.sim.schedule_unref(air, self._end_air, on_done, args)
 
     def _end_air(self, on_done: Callable[..., None], args: tuple = ()) -> None:
         if not self.powered:

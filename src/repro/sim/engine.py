@@ -108,9 +108,29 @@ class Simulator:
     The clock starts at 0.0.  ``run`` processes events in (time, insertion
     order) until the queue drains, ``until`` is reached, or ``stop()`` is
     called from within a callback.
+
+    ``Simulator(accel=True)`` (or ``fidelity="hybrid"``) transparently
+    constructs a :class:`repro.sim.fastcore.FastSimulator` — the
+    accelerated kernel tier.  The plain class is the *equivalence
+    oracle*: the accelerated kernel must replay byte-identical event
+    traces (see ``tests/test_fastcore_equivalence.py``).
     """
 
-    def __init__(self) -> None:
+    def __new__(cls, accel: bool = False, fidelity: str = "full"):
+        if cls is Simulator and (accel or fidelity == "hybrid"):
+            from repro.sim.fastcore import FastSimulator
+            return super().__new__(FastSimulator)
+        return super().__new__(cls)
+
+    def __init__(self, accel: bool = False, fidelity: str = "full") -> None:
+        if fidelity not in ("full", "hybrid"):
+            raise SimulationError(
+                f"unknown fidelity {fidelity!r} (expected 'full' or 'hybrid')"
+            )
+        #: kernel tier flags.  The oracle kernel ignores them beyond
+        #: validation (``__new__`` dispatched accel requests elsewhere).
+        self.accel = accel
+        self.fidelity = fidelity
         self.now: float = 0.0
         self._queue: List[Tuple[float, int, Event]] = []
         self._seq = 0
@@ -130,6 +150,27 @@ class Simulator:
         #: assigns them *before* building the network — layers cache
         #: their instruments at construction time.
         self.metrics, self.trace_bus = _metrics.attach(self)
+        #: cumulative simulated seconds skipped analytically by the
+        #: hybrid-fidelity tier (0.0 on full-fidelity runs).  Duration
+        #: arithmetic that must measure *modelled* network time (TCP
+        #: timestamps, Karn RTT samples, keepalive idle) subtracts this
+        #: from ``now`` so a warp is invisible to it.
+        self.time_warped: float = 0.0
+        #: callbacks invoked as ``hook(delta)`` after ``warp`` shifted
+        #: the clock and the queue — layers that keep absolute times
+        #: outside the event heap (e.g. in-flight transmissions in the
+        #: medium) register here to shift them too.
+        self.warp_hooks: List[Callable[[float], None]] = []
+        #: number of analytic fast-forwards performed (observability)
+        self.warps = 0
+        #: the hybrid-fidelity controller when ``fidelity="hybrid"``
+        #: (fastcore only); None otherwise.  Workload drivers check this
+        #: to register their flows for steady-state detection.
+        self.hybrid = None
+        #: the ``until`` horizon of the run in progress (None outside
+        #: ``run`` or for unbounded runs) — the hybrid controller never
+        #: warps without a horizon to clamp against.
+        self._run_until: Optional[float] = None
         #: explicit registry of armed :class:`repro.sim.timers.Timer` /
         #: ``PeriodicTimer`` instances.  Timers add themselves on start
         #: and remove themselves on stop/fire, so invariant checks (e.g.
@@ -161,6 +202,48 @@ class Simulator:
         ev.sim = self
         _heappush(self._queue, (time, seq, ev))
         return ev
+
+    def schedule_unref(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Schedule ``fn(*args)`` without returning a cancellation handle.
+
+        Semantically identical to :meth:`schedule` with the returned
+        Event discarded (same sequence-number consumption, same dispatch
+        order), but the contract — *no handle, so nobody can cancel it* —
+        lets the accelerated kernel skip the Event allocation entirely.
+        The oracle kernel keeps the allocation so both kernels replay
+        byte-identical traces.
+        """
+        self.schedule(delay, fn, *args)
+
+    def warp(self, delta: float) -> None:
+        """Advance the clock ``delta`` seconds analytically.
+
+        Everything queued shifts forward by ``delta`` — relative spacing
+        (and therefore heap order) is preserved, so no re-heapify is
+        needed.  ``time_warped`` accumulates the skip so warp-invariant
+        duration arithmetic (``sim.now - sim.time_warped``) is unchanged,
+        and ``warp_hooks`` fire so layers holding absolute times outside
+        the heap (the medium's in-flight transmissions) shift too.
+
+        Only the hybrid-fidelity controller calls this; it lives on the
+        base class so the mechanics are inspectable (and testable)
+        without the fastcore import.
+        """
+        if delta <= 0:
+            raise SimulationError(f"warp delta must be positive (got {delta})")
+        self.now += delta
+        self.time_warped += delta
+        self.warps += 1
+        queue = self._queue
+        for i, entry in enumerate(queue):
+            if len(entry) == 3:
+                ev = entry[2]
+                ev.time += delta
+                queue[i] = (ev.time, entry[1], ev)
+            else:
+                queue[i] = (entry[0] + delta, entry[1], entry[2], entry[3])
+        for hook in self.warp_hooks:
+            hook(delta)
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at absolute simulated ``time``."""
@@ -241,6 +324,7 @@ class Simulator:
         """
         self._running = True
         self._stopped = False
+        self._run_until = until
         # Hot loop: attribute lookups hoisted into locals.  The queue is
         # aliased, never rebound — compaction mutates it in place.  The
         # dispatch hook is sampled once: install on_event before run().
@@ -281,6 +365,7 @@ class Simulator:
         finally:
             self.events_processed += processed
             self._running = False
+            self._run_until = None
 
     def step(self) -> bool:
         """Process a single event. Returns False when the queue is empty."""

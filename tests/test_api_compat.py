@@ -86,6 +86,42 @@ def test_api_names_are_the_implementation_objects():
     assert api.Simulator is Simulator
 
 
+def test_make_simulator_selects_kernel_tiers():
+    from repro.sim.fastcore import FastSimulator
+
+    sim = api.make_simulator()
+    assert type(sim) is api.Simulator
+    assert (sim.accel, sim.fidelity) == (False, "full")
+
+    fast = api.make_simulator(accel=True)
+    assert type(fast) is FastSimulator
+    assert isinstance(fast, api.Simulator)  # substitutable everywhere
+    assert fast.accel is True and fast.hybrid is None
+
+    hybrid = api.make_simulator(fidelity="hybrid")
+    assert type(hybrid) is FastSimulator
+    assert hybrid.hybrid is not None
+
+
+def test_simulator_constructor_matches_make_simulator():
+    from repro.sim.fastcore import FastSimulator
+
+    # the facade helper and the constructor are the same dispatch
+    assert type(api.Simulator(accel=True)) is FastSimulator
+    assert type(api.Simulator()) is api.Simulator
+
+
+def test_topology_builders_thread_kernel_knobs():
+    from repro.sim.fastcore import FastSimulator
+
+    net = api.build_pair(seed=0, accel=True)
+    assert type(net.sim) is FastSimulator
+    net2 = api.build_chain(2, seed=0, fidelity="hybrid")
+    assert net2.sim.hybrid is not None
+    net3 = api.build_pair(seed=0)
+    assert type(net3.sim) is api.Simulator
+
+
 def test_run_experiments_is_callable_with_runner_signature():
     import inspect
 

@@ -22,6 +22,9 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: modules whose public names are covered by the facade — downstream
 #: code must not import from them directly
 BANNED_MODULES = {
+    # the kernel tiers are selected via Simulator(accel=...)/
+    # make_simulator, never by constructing FastSimulator directly
+    "repro.sim.fastcore",
     "repro.core.socket_api",
     "repro.core.params",
     "repro.core.simplified",

@@ -137,6 +137,56 @@ def test_cancel_heavy_load_triggers_compaction():
     assert sim.events_processed == 1
 
 
+@pytest.mark.parametrize("accel", [False, True], ids=["oracle", "accel"])
+def test_cancel_heavy_workload_keeps_heap_bounded(accel):
+    """The TCP rexmit-timer pattern — every tick re-arms a batch of
+    timers and cancels the previous batch — must not grow the heap, and
+    the tombstone accounting must agree with the heap afterwards under
+    both kernels (the accelerated one mixes slim handle-free entries
+    into the same heap)."""
+    sim = Simulator(accel=accel)
+    live = []
+
+    def tick():
+        for ev in live:
+            ev.cancel()
+        live.clear()
+        live.extend(sim.schedule(5.0, lambda: None) for _ in range(40))
+        # handle-free churn rides along (slim 4-tuples on the fast kernel)
+        sim.schedule_unref(0.005, lambda: None)
+
+    sim.schedule_periodic(0.01, tick)
+    sim.run(until=2.0)
+    # ~200 ticks x 40 cancels: without compaction the heap would hold
+    # thousands of dead entries; with it, live batch + tombstone
+    # allowance + the periodic tick is the ceiling
+    assert sim.compactions > 0
+    assert len(sim._queue) <= 40 + 64 + 1
+    pend = sim.pending_events()
+    assert sim.pending_count() == len(pend) == 40 + 1
+    tombstones = sum(
+        1 for e in sim._queue if len(e) == 3 and e[2].cancelled)
+    assert tombstones == sim.cancelled_count
+
+
+@pytest.mark.parametrize("accel", [False, True], ids=["oracle", "accel"])
+def test_compaction_preserves_pending_dispatch_order(accel):
+    """Compacting mid-flight must not reorder or drop survivors."""
+    sim = Simulator(accel=accel)
+    fired = []
+    keep = [sim.schedule(1.0 + 0.1 * i, fired.append, i) for i in range(5)]
+    doomed = [sim.schedule(10.0, lambda: fired.append("dead"))
+              for _ in range(300)]
+    sim.schedule_unref(1.25, fired.append, "slim")
+    for ev in doomed:
+        ev.cancel()
+    assert sim.compactions >= 1 and sim.cancelled_count < 64
+    assert sim.pending_count() == 6
+    sim.run()
+    assert fired == [0, 1, 2, "slim", 3, 4]
+    assert all(ev.fired for ev in keep)
+
+
 def test_double_cancel_counts_once():
     sim = Simulator()
     ev = sim.schedule(1.0, lambda: None)
