@@ -20,6 +20,11 @@ fidelity=...)``),
 :class:`~repro.sim.rng.RngStreams` (named deterministic RNG streams),
 :class:`~repro.sim.metrics.MetricsRegistry` (labelled counters /
 gauges / histograms with deterministic snapshots).
+:class:`~repro.sim.shard.ShardRecipe` /
+:class:`~repro.sim.shard.ShardedSimulator` (plus the
+:func:`run_sharded` / :func:`resume_sharded` drivers) run a
+thousand-node mesh across N worker processes with byte-identical
+results — ``make_simulator(shards=N, recipe=...)`` selects the tier.
 
 **Topologies** — :class:`~repro.experiments.topology.Network` (what a
 builder returns) and the builders: :func:`build_pair`,
@@ -99,10 +104,17 @@ from repro.sim.checkpoint import Checkpoint, CheckpointManager
 from repro.sim.engine import Simulator
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.rng import RngStreams
+from repro.sim.shard import (
+    ShardedSimulator,
+    ShardRecipe,
+    resume_sharded,
+    run_sharded,
+)
 from repro.verify import InvariantEngine
 
 
-def make_simulator(accel: bool = False, fidelity: str = "full") -> Simulator:
+def make_simulator(accel: bool = False, fidelity: str = "full",
+                   shards: int = 1, recipe=None):
     """Build a simulator on the requested kernel tier.
 
     ``accel=False, fidelity="full"`` (the default) returns the oracle
@@ -115,7 +127,30 @@ def make_simulator(accel: bool = False, fidelity: str = "full") -> Simulator:
     gated on *metric* equivalence (goodput within 2%, identical
     retransmit/fault counters), not trace equivalence.  The topology
     builders accept the same two knobs and pass them through.
+
+    ``shards=N`` (N > 1, or N == 1 with a ``recipe``) returns a
+    :class:`~repro.sim.shard.ShardedSimulator` instead: N worker
+    processes advancing a spatially-partitioned mesh in conservative
+    lock-stepped windows, gated on *byte-identical* merged traces and
+    metric snapshots against the single-process oracle.  Because every
+    worker rebuilds the network from a picklable description, sharded
+    runs are driven by a :class:`~repro.sim.shard.ShardRecipe` (the
+    ``recipe`` argument) rather than by an in-process ``Network``;
+    ``accel`` and non-full fidelity are refused in combination with
+    sharding.
     """
+    if recipe is not None or shards != 1:
+        if recipe is None:
+            raise ValueError(
+                "shards > 1 needs a ShardRecipe: workers rebuild the "
+                "network from it (see repro.sim.shard.ShardRecipe)")
+        if accel or fidelity != "full":
+            raise ValueError(
+                "sharding runs on the oracle kernel only "
+                "(accel=False, fidelity='full')")
+        from repro.sim.shard import ShardedSimulator
+
+        return ShardedSimulator(recipe, shards=shards)
     return Simulator(accel=accel, fidelity=fidelity)
 
 
@@ -149,6 +184,11 @@ __all__ = [
     "make_simulator",
     "RngStreams",
     "MetricsRegistry",
+    # sharded tier
+    "ShardRecipe",
+    "ShardedSimulator",
+    "run_sharded",
+    "resume_sharded",
     # topologies
     "Network",
     "CLOUD_ID",

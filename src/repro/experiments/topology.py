@@ -272,6 +272,32 @@ def _positions_connected(
     return len(seen) == len(positions)
 
 
+def _draw_random_positions(
+    rng: RngStreams,
+    num_nodes: int,
+    side: float,
+    comm_range: float,
+    max_tries: int,
+    context: str,
+) -> Dict[int, Tuple[float, float]]:
+    """The random mesh's placement draw, factored so the shard planner
+    (:mod:`repro.sim.shard`) can reproduce the exact geometry — same RNG
+    stream, same draw order — without building a network.
+    """
+    for attempt in range(max_tries):
+        positions = {
+            nid: (rng.uniform("topology-placement", 0.0, side),
+                  rng.uniform("topology-placement", 0.0, side))
+            for nid in range(num_nodes)
+        }
+        if _positions_connected(positions, comm_range):
+            return positions
+    raise RuntimeError(
+        f"{context}: no connected placement in {max_tries} tries; "
+        f"grow `area` or the range"
+    )
+
+
 def _assert_connected(net: Network, context: str) -> None:
     """Builder invariant: every node reaches the border over the radio."""
     sets = net.medium.neighbor_sets
@@ -393,20 +419,10 @@ def build_random_mesh(
     )
     sim = Simulator(accel=accel, fidelity=fidelity)
     rng = RngStreams(seed)
-    positions: Dict[int, Tuple[float, float]] = {}
-    for attempt in range(max_tries):
-        positions = {
-            nid: (rng.uniform("topology-placement", 0.0, side),
-                  rng.uniform("topology-placement", 0.0, side))
-            for nid in range(num_nodes)
-        }
-        if _positions_connected(positions, comm_range):
-            break
-    else:
-        raise RuntimeError(
-            f"random_mesh(n={num_nodes}, seed={seed}): no connected "
-            f"placement in {max_tries} tries; grow `area` or the range"
-        )
+    positions = _draw_random_positions(
+        rng, num_nodes, side, comm_range, max_tries,
+        f"random_mesh(n={num_nodes}, seed={seed})",
+    )
     medium = Medium(sim, rng=rng, comm_range=comm_range)
     placeholder = StaticRouting()
     nodes: Dict[int, Node] = {}

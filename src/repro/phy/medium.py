@@ -169,6 +169,13 @@ class Medium:
         #: is computed once per concurrent-sender pair instead of once
         #: per overlapping frame — the dominant cost in dense meshes.
         self._pair_overlap: Dict[Tuple[int, int], Set[int]] = {}
+        #: optional commit-point tap installed by the sharded tier
+        #: (repro.sim.shard): called as ``hook(sender_id, frame,
+        #: air_start, air_time)`` the moment ``Radio.transmit`` commits
+        #: a frame, one lookahead before its first bit reaches the air.
+        #: None (one attribute load + identity test per transmit) for
+        #: every single-process run.
+        self.tx_commit_hook: Optional[Callable[[int, object, float, float], None]] = None
         self.cache_rebuilds = 0
         self.frames_delivered = 0
         self.frames_collided = 0

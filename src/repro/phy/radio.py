@@ -49,6 +49,7 @@ class Radio:
         self._air_per_byte = 8.0 / p.bit_rate
         self._air_base = p.phy_preamble_bytes * self._air_per_byte
         self._spi_factor = p.spi_overhead_factor - 1.0
+        self._tx_turnaround = p.tx_turnaround
         #: set by the MAC layer: called with (frame, sender_id) on clean receive
         self.on_frame: Optional[Callable[[object, int], None]] = None
         self._listen_since: float = sim.now
@@ -196,6 +197,14 @@ class Radio:
         ``skip_spi`` is used for link-layer ACKs (hardware-generated,
         no frame upload) and for frames already uploaded via ``load``.
         ``on_done(*args)`` fires when the frame leaves the air.
+
+        This call is the *commit point*: once it returns, the frame
+        will reach the air at ``now + delay`` unless the node crashes
+        first, where ``delay`` is the SPI transfer (non-``skip_spi``) or
+        ``PhyParams.tx_turnaround`` (``skip_spi``; 0.0 by default, which
+        keeps commit and air-start coincident as in every pinned
+        baseline).  The sharded tier installs ``Medium.tx_commit_hook``
+        to learn about commitments one lookahead ahead of the air phase.
         """
         if not self.powered:
             raise RuntimeError(f"node {self.node_id}: transmit while powered off")
@@ -204,11 +213,18 @@ class Radio:
         self._validate_size(frame_bytes)
         self._tx_busy = True
         if skip_spi:
-            self._start_air(frame, frame_bytes, on_done, args)
+            delay = self._tx_turnaround
         else:
-            spi = (self._air_base + frame_bytes * self._air_per_byte) * self._spi_factor
-            self.cpu._busy += spi
-            self.sim.schedule_unref(spi, self._start_air, frame, frame_bytes, on_done, args)
+            delay = (self._air_base + frame_bytes * self._air_per_byte) * self._spi_factor
+            self.cpu._busy += delay
+        hook = self.medium.tx_commit_hook
+        if hook is not None:
+            air = self._air_base + frame_bytes * self._air_per_byte
+            hook(self.node_id, frame, self.sim.now + delay, air)
+        if delay:
+            self.sim.schedule_unref(delay, self._start_air, frame, frame_bytes, on_done, args)
+        else:
+            self._start_air(frame, frame_bytes, on_done, args)
 
     def transmit_loaded(
         self, frame: object, frame_bytes: int, on_done: Callable[..., None], *args: object

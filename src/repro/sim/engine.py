@@ -367,6 +367,56 @@ class Simulator:
             self._running = False
             self._run_until = None
 
+    def run_exclusive(self, limit: float) -> None:
+        """Process events strictly before ``limit``; advance ``now`` to it.
+
+        The sharded tier's window primitive: each lock-stepped window
+        ``[T_prev, T)`` runs events with ``time < T`` and leaves events
+        at exactly ``T`` for the next window (or for the final inclusive
+        ``run(until=T)`` step), so frames committed by a foreign shard
+        with air-start exactly ``T`` can still be injected at the
+        barrier before any local event at ``T`` executes.  Apart from
+        the strict bound the loop is ``run``'s: same dispatch order,
+        same sequence-number consumption, same periodic re-arming.
+        """
+        self._running = True
+        self._stopped = False
+        self._run_until = limit
+        queue = self._queue
+        heappop = _heappop
+        heappush = _heappush
+        hook = self.on_event
+        processed = 0
+        try:
+            while queue and not self._stopped:
+                time = queue[0][0]
+                if time >= limit:
+                    break
+                ev = heappop(queue)[2]
+                if ev.cancelled:
+                    self.cancelled_count -= 1
+                    continue
+                self.now = time
+                processed += 1
+                interval = ev.interval
+                if interval is None:
+                    ev.fired = True
+                else:
+                    ev.time = time + interval
+                    seq = self._seq
+                    self._seq = seq + 1
+                    ev.seq = seq
+                    heappush(queue, (ev.time, seq, ev))
+                if hook is not None:
+                    hook(ev)
+                ev.fn(*ev.args)
+            if self.now < limit and not self._stopped:
+                self.now = limit
+        finally:
+            self.events_processed += processed
+            self._running = False
+            self._run_until = None
+
     def step(self) -> bool:
         """Process a single event. Returns False when the queue is empty."""
         queue = self._queue

@@ -222,6 +222,21 @@ class FastSimulator(Simulator):
             self._running = False
             self._run_until = None
 
+    def run_exclusive(self, limit: float) -> None:
+        """Unsupported on the accelerated kernel.
+
+        Window-stepped execution is the sharded tier's primitive, and
+        shard workers always run the oracle kernel (repro.sim.shard
+        validates ``accel=False``): parallelism comes from processes,
+        not from stacking both speed tiers, and keeping the oracle
+        inside the workers preserves the byte-identical-trace contract
+        against the single-process oracle.
+        """
+        raise SimulationError(
+            "run_exclusive is only available on the oracle kernel "
+            "(sharded workers run with accel=False)"
+        )
+
     def step(self) -> bool:
         queue = self._queue
         while queue:
