@@ -57,6 +57,20 @@ snapshot/restore of a whole simulation) and
 :class:`~repro.verify.engine.InvariantEngine` (live cross-layer
 invariant checking; see ``docs/robustness.md``).
 
+**Gateway** — the real-socket serving tier:
+:class:`~repro.gateway.server.Gateway` (asyncio border router that
+bridges real TCP/UDP sockets on loopback to simulated motes),
+:class:`MoteBinding` (one listening endpoint → one sim endpoint),
+:func:`install_echo` / :func:`install_sink` (canned sim-side apps),
+:func:`attach_wired_host` (a second wired host behind the border
+router for radio-free scale tests),
+:class:`~repro.sim.engine.RealtimePacer` /
+:class:`~repro.gateway.runtime.PacedSimRunner` (wall-clock pacing with
+slack accounting), :class:`SessionBackoff`, and the loadgen drivers
+:func:`run_tcp_loadgen` / :func:`run_udp_loadgen` returning a
+:class:`LoadgenReport` with p50/p95/p99 latency.  See
+``docs/architecture.md`` §10.
+
 **Experiments** — :func:`run_experiments` runs the paper's experiment
 registry (all of it, or a named subset) and returns ``(results,
 meta)`` exactly like ``python -m repro.experiments.runner`` would
@@ -100,8 +114,20 @@ from repro.experiments.workload import (
     jain_fairness,
 )
 from repro.faults import FaultInjector, FaultSchedule
+from repro.gateway import (
+    Gateway,
+    LoadgenReport,
+    MoteBinding,
+    PacedSimRunner,
+    SessionBackoff,
+    attach_wired_host,
+    install_echo,
+    install_sink,
+    run_tcp_loadgen,
+    run_udp_loadgen,
+)
 from repro.sim.checkpoint import Checkpoint, CheckpointManager
-from repro.sim.engine import Simulator
+from repro.sim.engine import RealtimePacer, Simulator
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.rng import RngStreams
 from repro.sim.shard import (
@@ -227,6 +253,18 @@ __all__ = [
     "Checkpoint",
     "CheckpointManager",
     "InvariantEngine",
+    # gateway
+    "Gateway",
+    "MoteBinding",
+    "RealtimePacer",
+    "PacedSimRunner",
+    "SessionBackoff",
+    "LoadgenReport",
+    "attach_wired_host",
+    "install_echo",
+    "install_sink",
+    "run_tcp_loadgen",
+    "run_udp_loadgen",
     # experiments
     "run_experiments",
 ]

@@ -196,8 +196,9 @@ class TcpConnection:
         self._last_activity = sim.now - sim.time_warped
         self._keepalive_unanswered = 0
 
-        # RFC 5961 challenge-ACK rate limiting
-        self._challenge_window_start = sim.now
+        # RFC 5961 challenge-ACK rate limiting — warp-invariant clock,
+        # so a hybrid fast-forward doesn't silently refresh the budget
+        self._challenge_window_start = sim.now - sim.time_warped
         self._challenges_in_window = 0
 
         # FreeBSD bad-retransmit detection (paper footnote 8)
@@ -519,6 +520,19 @@ class TcpConnection:
         interval = self.rtt.rto * (1 << min(self._persist_shift, 6))
         return min(p.persist_max, max(p.persist_min, interval))
 
+    def _window_reopened(self) -> None:
+        """The send window transitioned zero -> nonzero: end the
+        zero-window episode.
+
+        Every reopen path funnels through here so the persist backoff
+        can never leak across episodes — a stale ``_persist_shift``
+        would make the *next* episode's first probe fire at up to 64x
+        ``persist_min``, stalling live traffic behind a bug the batch
+        experiments never notice.
+        """
+        self._persist_shift = 0
+        self.persist_timer.stop()
+
     # ------------------------------------------------------------------
     # segment construction
     # ------------------------------------------------------------------
@@ -649,7 +663,7 @@ class TcpConnection:
 
     def _challenge_ack(self) -> None:
         """RFC 5961 challenge ACK, rate-limited per connection."""
-        now = self.sim.now
+        now = self.sim.now - self.sim.time_warped
         if now - self._challenge_window_start >= 1.0:
             self._challenge_window_start = now
             self._challenges_in_window = 0
@@ -728,7 +742,7 @@ class TcpConnection:
         if not self.is_open:
             return
         if self.snd_wnd > 0:
-            self._persist_shift = 0
+            self._window_reopened()
             self.output()
             return
         # window probe: one byte past the edge
@@ -830,9 +844,12 @@ class TcpConnection:
         if self.state is TcpState.SYN_RECEIVED:
             if seq_gt(seg.ack, self.snd_una) and seq_le(seg.ack, self.snd_max):
                 self.state = TcpState.ESTABLISHED
+                old_wnd = self.snd_wnd
                 self.snd_wnd = seg.window
                 self.snd_wl1 = seg.seq
                 self.snd_wl2 = seg.ack
+                if old_wnd == 0 and self.snd_wnd > 0:
+                    self._window_reopened()
                 self._ack_advance(seg)
                 self._arm_keepalive()
                 if self.on_connect is not None:
@@ -903,9 +920,12 @@ class TcpConnection:
             self.snd_una = seg.ack
             self.rto_shift = 0
             self.state = TcpState.ESTABLISHED
+            old_wnd = self.snd_wnd
             self.snd_wnd = seg.window
             self.snd_wl1 = seg.seq
             self.snd_wl2 = seg.ack
+            if old_wnd == 0 and self.snd_wnd > 0:
+                self._window_reopened()
             if self.params.ecn and seg.ece and not seg.cwr:
                 self.ecn_enabled = True
             self.rexmt_timer.stop()
@@ -944,8 +964,7 @@ class TcpConnection:
             self.snd_wl1 = seg.seq
             self.snd_wl2 = seg.ack
             if old_wnd == 0 and self.snd_wnd > 0:
-                self._persist_shift = 0
-                self.persist_timer.stop()
+                self._window_reopened()
                 self.output()
 
         if self.sack_enabled and seg.options.sack_blocks:

@@ -22,17 +22,32 @@ from repro.core.socket_api import TcpStack
 
 
 class GoodputMeter:
-    """Counts delivered bytes between start() and now."""
+    """Counts delivered bytes between start() and now.
+
+    The elapsed window is measured on the warp-invariant clock
+    (``sim.now - sim.time_warped``, the same clock TCP uses for RTT
+    and keepalive): a hybrid-fidelity warp that this meter's flow did
+    not participate in must not stretch the denominator.  Warps that
+    *do* carry this flow's modelled progress are booked explicitly by
+    the controller through :meth:`credit`, whose ``interval`` argument
+    re-adds exactly the warped seconds the credited bytes covered.
+    """
 
     def __init__(self, sim):
         self.sim = sim
         self.bytes = 0
         self._start: Optional[float] = None
+        #: warped seconds explicitly credited to this meter's window
+        self._warp_time = 0.0
         self.first_byte_at: Optional[float] = None
+
+    def _invariant_now(self) -> float:
+        return self.sim.now - getattr(self.sim, "time_warped", 0.0)
 
     def start(self) -> None:
         """Begin (or restart) the measurement window."""
-        self._start = self.sim.now
+        self._start = self._invariant_now()
+        self._warp_time = 0.0
         self.bytes = 0
 
     def on_data(self, data: bytes) -> None:
@@ -42,10 +57,14 @@ class GoodputMeter:
         if self._start is not None:
             self.bytes += len(data)
 
-    def credit(self, nbytes: int) -> None:
+    def credit(self, nbytes: int, interval: float = 0.0) -> None:
         """Account bytes delivered analytically by the hybrid-fidelity
         tier — no ``on_data`` callback fires during a warp, so the
-        controller books the modelled progress here."""
+        controller books the modelled progress here.  ``interval`` is
+        the warped span the bytes covered; it is added back to this
+        meter's elapsed window so credited goodput stays rate-exact."""
+        if interval > 0 and self._start is not None:
+            self._warp_time += interval
         if nbytes <= 0:
             return
         if self.first_byte_at is None:
@@ -53,11 +72,18 @@ class GoodputMeter:
         if self._start is not None:
             self.bytes += nbytes
 
+    def elapsed(self) -> float:
+        """Measurement-window length: warp-invariant time plus any
+        explicitly credited warp spans."""
+        if self._start is None:
+            return 0.0
+        return (self._invariant_now() - self._start) + self._warp_time
+
     def goodput_bps(self) -> float:
         """Delivered application bits per second over the window."""
         if self._start is None:
             return 0.0
-        elapsed = self.sim.now - self._start
+        elapsed = self.elapsed()
         return self.bytes * 8.0 / elapsed if elapsed > 0 else 0.0
 
 
@@ -132,11 +158,12 @@ class BulkTransfer:
         """The sender-side socket (for cwnd traces etc.)."""
         return self._conn
 
-    def hybrid_credit(self, nbytes: int) -> None:
+    def hybrid_credit(self, nbytes: int, interval: float = 0.0) -> None:
         """Book analytically fast-forwarded progress (hybrid tier):
-        delivered bytes into the meter, plus the equivalent data-segment
-        count so per-segment statistics stay comparable to oracle runs."""
-        self.meter.credit(nbytes)
+        delivered bytes into the meter (with the warped span they
+        covered), plus the equivalent data-segment count so per-segment
+        statistics stay comparable to oracle runs."""
+        self.meter.credit(nbytes, interval)
         conn = self._conn
         if conn is not None and nbytes > 0:
             segs, self._credit_carry = divmod(

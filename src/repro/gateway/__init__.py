@@ -1,0 +1,51 @@
+"""Real-socket gateway: serve live TCP/UDP traffic from the simulation.
+
+The batch simulator reproduces the paper's experiments; this package
+turns it into a *digital twin* of an LLN deployment (ROADMAP item 3).
+A :class:`~repro.gateway.server.Gateway` runs the simulation under
+real-time pacing (:class:`~repro.sim.engine.RealtimePacer`) inside an
+asyncio event loop and bridges ordinary OS sockets to simulated motes,
+so an external client — ``curl``, ``nc``, a load generator — can open
+a connection and complete a bulk transfer or a datagram exchange
+against a node inside the mesh.
+
+Layering:
+
+* :mod:`repro.gateway.runtime` — :class:`PacedSimRunner`, the asyncio
+  task that dispatches simulator events on the wall clock.
+* :mod:`repro.gateway.bridge` — per-connection protocol adapters
+  (:class:`TcpBridge`, :class:`UdpBridge`) and the
+  :class:`SessionBackoff` retry policy.
+* :mod:`repro.gateway.server` — :class:`Gateway`, :class:`MoteBinding`
+  and the in-sim demo applications (:func:`install_echo`,
+  :func:`install_sink`, :func:`attach_wired_host`).
+* :mod:`repro.gateway.loadgen` — the concurrent-client latency
+  harness behind ``tools/loadgen.py``.
+* :mod:`repro.gateway.smoke` — the self-contained CI smoke run.
+"""
+
+from repro.gateway.bridge import SessionBackoff, TcpBridge, UdpBridge
+from repro.gateway.loadgen import LoadgenReport, run_tcp_loadgen, run_udp_loadgen
+from repro.gateway.runtime import PacedSimRunner
+from repro.gateway.server import (
+    Gateway,
+    MoteBinding,
+    attach_wired_host,
+    install_echo,
+    install_sink,
+)
+
+__all__ = [
+    "Gateway",
+    "LoadgenReport",
+    "MoteBinding",
+    "PacedSimRunner",
+    "SessionBackoff",
+    "TcpBridge",
+    "UdpBridge",
+    "attach_wired_host",
+    "install_echo",
+    "install_sink",
+    "run_tcp_loadgen",
+    "run_udp_loadgen",
+]

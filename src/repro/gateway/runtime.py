@@ -1,0 +1,125 @@
+"""The asyncio-paced simulation driver behind the gateway.
+
+:class:`PacedSimRunner` owns the discrete-event simulator inside an
+asyncio event loop: a single long-lived task dispatches every event at
+its wall-clock deadline (scaled by ``speed``) and sleeps in between, so
+socket I/O interleaves with simulation progress on one thread.  All
+simulator state is therefore touched from exactly one thread — socket
+callbacks run between dispatch batches, never during one — which keeps
+the kernel free of locks.
+
+Slack accounting (how late each dispatch ran) is delegated to the
+engine's :class:`~repro.sim.engine.RealtimePacer`, so the gateway
+exports the same ``rt.*`` metrics as a plain
+:meth:`Simulator.run_realtime` loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from typing import Optional
+
+from repro.sim.engine import RealtimePacer
+
+_log = logging.getLogger("repro.gateway.runtime")
+
+
+class PacedSimRunner:
+    """Dispatch simulator events at wall-clock rate inside asyncio.
+
+    ``speed`` is simulated seconds per wall second.  ``max_sleep``
+    bounds how long the dispatch task sleeps when the queue is empty,
+    so externally injected work is picked up promptly even without a
+    :meth:`nudge`.
+
+    Lifecycle::
+
+        runner = PacedSimRunner(sim, speed=1.0).start()
+        ...   # sockets inject events, then call runner.nudge()
+        await runner.stop()
+    """
+
+    def __init__(
+        self,
+        sim,
+        speed: float = 1.0,
+        slack_budget: float = 0.25,
+        max_sleep: float = 0.05,
+    ):
+        self.sim = sim
+        self.pacer = RealtimePacer(
+            speed=speed,
+            slack_budget=slack_budget,
+            metrics=sim.metrics,
+            trace_bus=sim.trace_bus,
+        )
+        self.max_sleep = max_sleep
+        self._wake = asyncio.Event()
+        self._task: Optional[asyncio.Task] = None
+        self._stopped = False
+
+    @property
+    def running(self) -> bool:
+        return self._task is not None and not self._task.done()
+
+    def start(self) -> "PacedSimRunner":
+        """Begin pacing (must be called from inside a running loop)."""
+        if self._task is not None:
+            raise RuntimeError("runner already started")
+        self._stopped = False
+        self.pacer.resync(self.sim.now)
+        self.sim.realtime_pacer = self.pacer
+        self._task = asyncio.get_running_loop().create_task(
+            self._loop(), name="paced-sim-runner"
+        )
+        return self
+
+    def nudge(self) -> None:
+        """Wake the dispatch task after injecting new simulator events.
+
+        Without a nudge the task still notices new work within
+        ``max_sleep`` wall seconds; with one it reacts immediately.
+        """
+        self._wake.set()
+
+    async def stop(self) -> None:
+        """Stop pacing and wait for the dispatch task to exit."""
+        self._stopped = True
+        self._wake.set()
+        if self._task is not None:
+            await self._task
+            self._task = None
+
+    async def _loop(self) -> None:
+        sim, pacer = self.sim, self.pacer
+        try:
+            while not self._stopped:
+                wall = pacer.clock()
+                due = pacer.sim_due(wall)
+                t_next = sim.peek_time()
+                if t_next is not None and t_next <= due:
+                    # a batch is due: account its lateness, dispatch it,
+                    # then yield so socket I/O interleaves
+                    pacer.observe(t_next, wall)
+                    sim.run(until=due)
+                    await asyncio.sleep(0)
+                    continue
+                if due > sim.now:
+                    # idle: the simulated clock tracks the wall
+                    sim.run(until=due)
+                delay = self.max_sleep
+                if t_next is not None:
+                    delay = min(
+                        delay, max(0.0, pacer.wall_for(t_next) - pacer.clock())
+                    )
+                self._wake.clear()
+                try:
+                    await asyncio.wait_for(self._wake.wait(), timeout=delay)
+                except asyncio.TimeoutError:
+                    pass
+        except asyncio.CancelledError:
+            raise
+        except Exception:
+            _log.exception("paced simulation runner crashed")
+            raise

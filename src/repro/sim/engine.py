@@ -26,12 +26,16 @@ Hot-path design notes:
 from __future__ import annotations
 
 import heapq
+import logging
+import time as _time
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.sim import metrics as _metrics
 
 _heappush = heapq.heappush
 _heappop = heapq.heappop
+
+_log = logging.getLogger("repro.sim.realtime")
 
 #: compaction is considered once this many tombstones have accumulated
 _COMPACT_MIN_TOMBSTONES = 64
@@ -94,6 +98,133 @@ class Event:
 
 
 _new_event = Event.__new__
+
+
+class RealtimePacer:
+    """Maps simulated seconds onto a wall clock and accounts for slack.
+
+    ``speed`` is simulated seconds per wall second (1.0 = true real
+    time; 20.0 runs the simulation twenty times faster than the wall).
+    The pacer anchors ``(wall, sim)`` at :meth:`resync`; from there
+    :meth:`sim_due` converts a wall instant into the simulated instant
+    that *should* have been reached, and :meth:`wall_for` gives a
+    simulated time's wall deadline.
+
+    **Slack** is how late an event is dispatched relative to its wall
+    deadline, in wall seconds (positive = behind schedule).  Every
+    observation updates ``last_slack``/``max_slack`` and — when a
+    :class:`~repro.sim.metrics.MetricsRegistry` is attached — the
+    ``rt.slack_last_seconds``/``rt.slack_max_seconds`` gauges and the
+    ``rt.slack_seconds`` histogram.  Falling behind by more than
+    ``slack_budget`` is *loud*: the ``rt.slack_violations`` counter
+    increments, a ``rt/slack_violation`` trace event is emitted, and a
+    rate-limited ``logging`` warning fires — a real-time serving tier
+    must never fall behind silently.
+    """
+
+    def __init__(
+        self,
+        speed: float = 1.0,
+        slack_budget: float = 0.25,
+        clock: Callable[[], float] = _time.monotonic,
+        metrics=None,
+        trace_bus=None,
+    ):
+        if speed <= 0:
+            raise SimulationError(f"realtime speed must be positive (got {speed})")
+        if slack_budget < 0:
+            raise SimulationError(
+                f"slack budget must be >= 0 (got {slack_budget})"
+            )
+        self.speed = speed
+        self.slack_budget = slack_budget
+        self.clock = clock
+        self._trace_bus = trace_bus
+        self._wall0 = clock()
+        self._sim0 = 0.0
+        #: slack accounting (wall seconds)
+        self.last_slack = 0.0
+        self.max_slack = 0.0
+        self.violations = 0
+        self.observations = 0
+        self._last_warn_wall: Optional[float] = None
+        if metrics is not None:
+            self._g_slack = metrics.gauge("rt.slack_last_seconds")
+            self._g_slack_max = metrics.gauge("rt.slack_max_seconds")
+            self._h_slack = metrics.histogram("rt.slack_seconds")
+            self._c_violations = metrics.counter("rt.slack_violations")
+            self._g_speed = metrics.gauge("rt.speed")
+            self._g_speed.set(speed)
+        else:
+            self._g_slack = None
+            self._g_slack_max = None
+            self._h_slack = None
+            self._c_violations = None
+            self._g_speed = None
+
+    def resync(self, sim_now: float) -> None:
+        """Re-anchor: simulated ``sim_now`` corresponds to wall *now*.
+
+        Call once before pacing starts (and after any deliberate pause);
+        resyncing forgives accumulated lateness rather than sprinting to
+        catch up, which is the right behaviour after a checkpoint
+        restore or a debugger stop.
+        """
+        self._wall0 = self.clock()
+        self._sim0 = sim_now
+
+    def sim_due(self, wall: float) -> float:
+        """Simulated time that should have been reached by ``wall``."""
+        return self._sim0 + (wall - self._wall0) * self.speed
+
+    def wall_for(self, sim_time: float) -> float:
+        """Wall deadline of simulated instant ``sim_time``."""
+        return self._wall0 + (sim_time - self._sim0) / self.speed
+
+    def observe(self, sim_time: float, wall: float) -> float:
+        """Record dispatch slack for an event due at ``sim_time``.
+
+        Returns the slack in wall seconds (positive = late).
+        """
+        slack = wall - self.wall_for(sim_time)
+        self.last_slack = slack
+        self.observations += 1
+        if slack > self.max_slack:
+            self.max_slack = slack
+        if self._g_slack is not None:
+            self._g_slack.set(slack)
+            self._g_slack_max.set(self.max_slack)
+            self._h_slack.observe(max(0.0, slack))
+        if slack > self.slack_budget:
+            self.violations += 1
+            if self._c_violations is not None:
+                self._c_violations.inc()
+            if self._trace_bus is not None:
+                self._trace_bus.emit(
+                    "rt", -1, "slack_violation",
+                    slack=round(slack, 6), budget=self.slack_budget,
+                )
+            # loud but rate-limited: one warning per wall second at most
+            if (self._last_warn_wall is None
+                    or wall - self._last_warn_wall >= 1.0):
+                self._last_warn_wall = wall
+                _log.warning(
+                    "realtime pacing fell behind: slack=%.3fs "
+                    "(budget %.3fs, speed %gx, %d violations)",
+                    slack, self.slack_budget, self.speed, self.violations,
+                )
+        return slack
+
+    def stats(self) -> dict:
+        """JSON-ready slack summary (the gateway smoke artifact shape)."""
+        return {
+            "speed": self.speed,
+            "slack_budget": self.slack_budget,
+            "last_slack": self.last_slack,
+            "max_slack": self.max_slack,
+            "violations": self.violations,
+            "observations": self.observations,
+        }
 
 
 class Simulator:
@@ -171,6 +302,9 @@ class Simulator:
         #: ``run`` or for unbounded runs) — the hybrid controller never
         #: warps without a horizon to clamp against.
         self._run_until: Optional[float] = None
+        #: the :class:`RealtimePacer` of the last ``run_realtime`` call
+        #: (None for batch runs) — slack stats survive the run.
+        self.realtime_pacer: Optional[RealtimePacer] = None
         #: explicit registry of armed :class:`repro.sim.timers.Timer` /
         #: ``PeriodicTimer`` instances.  Timers add themselves on start
         #: and remove themselves on stop/fire, so invariant checks (e.g.
@@ -416,6 +550,103 @@ class Simulator:
             self.events_processed += processed
             self._running = False
             self._run_until = None
+
+    def run_realtime(
+        self,
+        until: Optional[float] = None,
+        speed: float = 1.0,
+        slack_budget: float = 0.25,
+        clock: Callable[[], float] = _time.monotonic,
+        sleep: Callable[[float], None] = _time.sleep,
+        poll: Optional[Callable[[], None]] = None,
+        poll_interval: float = 0.05,
+        pacer: Optional[RealtimePacer] = None,
+    ) -> RealtimePacer:
+        """Dispatch events paced against the wall clock.
+
+        Equivalent to :meth:`run` — same dispatch order, same sequence
+        numbers, same periodic re-arming, because due batches are
+        delegated to ``run`` itself (so every kernel tier paces
+        identically) — except that each event fires no earlier than its
+        wall deadline ``start + (event.time - start_sim) / speed``.
+        Between batches the loop sleeps; when a ``poll`` callback is
+        given it is invoked at least every ``poll_interval`` wall
+        seconds so external input can inject new events mid-run (the
+        asyncio gateway in :mod:`repro.gateway` uses the same pacer
+        with awaits instead of ``sleep``).
+
+        The simulated clock tracks the wall clock even while the queue
+        is idle, so events injected by ``poll`` are scheduled relative
+        to the *current* real-time instant.  With no ``poll``, a
+        drained queue ends the run early (``now`` jumps to ``until``,
+        matching ``run``'s horizon semantics).
+
+        Falling behind is never silent: dispatch slack is tracked per
+        due batch and exported through the attached
+        :class:`~repro.sim.metrics.MetricsRegistry` (see
+        :class:`RealtimePacer`).  Returns the pacer so callers can
+        inspect ``max_slack`` / ``violations``.
+        """
+        if pacer is None:
+            pacer = RealtimePacer(
+                speed=speed, slack_budget=slack_budget, clock=clock,
+                metrics=self.metrics, trace_bus=self.trace_bus,
+            )
+        pacer.resync(self.now)
+        self.realtime_pacer = pacer
+        self._stopped = False
+        while not self._stopped:
+            wall = clock()
+            due = pacer.sim_due(wall)
+            horizon = due if until is None else min(due, until)
+            t_next = self.peek_time()
+            if t_next is not None and t_next <= horizon:
+                # a batch is due; slack is measured on its earliest event
+                pacer.observe(t_next, wall)
+                self.run(until=horizon)
+                continue
+            if horizon > self.now:
+                # idle: keep simulated time tracking the wall so injected
+                # events land at the current real-time instant
+                self.run(until=horizon)
+                if self._stopped:
+                    break
+            if until is not None and self.now >= until:
+                break
+            if t_next is None and poll is None:
+                if until is not None:
+                    self.now = until
+                break
+            # sleep until the next event's wall deadline, the horizon,
+            # or the next poll tick — whichever comes first
+            deadlines = []
+            if t_next is not None:
+                deadlines.append((pacer.wall_for(t_next), t_next))
+            if until is not None:
+                deadlines.append((pacer.wall_for(until), until))
+            if deadlines:
+                wall_dl, sim_dl = min(deadlines)
+                wait = wall_dl - clock()
+            else:
+                wait, sim_dl = poll_interval, None
+            if poll is not None:
+                wait = min(wait, poll_interval)
+            if wait > 0:
+                # floor the sleep: a remaining wait below one float ulp
+                # of the clock value would otherwise never advance a
+                # discrete (test) clock
+                sleep(max(wait, 1e-9))
+            elif sim_dl is not None:
+                # the wall deadline has arrived, but wall_for/sim_due
+                # don't round-trip exactly so sim_due() can sit one ulp
+                # short of the deadline forever; run straight to it
+                # instead of spinning on a zero-length sleep
+                if t_next is not None and t_next <= sim_dl:
+                    pacer.observe(t_next, clock())
+                self.run(until=sim_dl)
+            if poll is not None:
+                poll()
+        return pacer
 
     def step(self) -> bool:
         """Process a single event. Returns False when the queue is empty."""

@@ -378,7 +378,7 @@ class HybridController:
     # -- registration --------------------------------------------------
     def register_flow(self, driver) -> None:
         """Watch ``driver`` (must expose ``.connection``; may expose
-        ``hybrid_credit(nbytes)``) for steady-state cruising."""
+        ``hybrid_credit(nbytes, interval)``) for steady-state cruising."""
         w = _FlowWatch(driver)
         w.last_check = self.sim.now
         self._watches.append(w)
@@ -490,6 +490,6 @@ class HybridController:
             self.credited_bytes += nbytes
             credit = getattr(w.driver, "hybrid_credit", None)
             if credit is not None:
-                credit(nbytes)
+                credit(nbytes, delta)
             else:
-                w.driver.meter.credit(nbytes)
+                w.driver.meter.credit(nbytes, delta)

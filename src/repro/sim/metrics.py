@@ -195,6 +195,17 @@ class MetricsRegistry:
         return {"counters": counters, "gauges": gauges,
                 "histograms": histograms}
 
+    def write_json(self, path, indent: int = 2) -> Dict[str, Dict[str, object]]:
+        """Snapshot to a JSON file (live export for external consumers,
+        e.g. the gateway's slack/latency dump); returns the snapshot."""
+        import json
+
+        snap = self.snapshot()
+        with open(path, "w") as fh:
+            json.dump(snap, fh, indent=indent, sort_keys=True)
+            fh.write("\n")
+        return snap
+
 
 def diff_snapshots(golden: Dict, current: Dict) -> List[str]:
     """Human-readable differences between two snapshots (empty = equal).

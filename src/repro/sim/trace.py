@@ -227,6 +227,29 @@ class TraceBus:
     # ------------------------------------------------------------------
     # export / import
     # ------------------------------------------------------------------
+    def stream_jsonl(self, path):
+        """Stream every *subsequent* event to ``path`` as JSON Lines.
+
+        Unlike :meth:`to_jsonl` (a post-hoc dump of the retained ring),
+        this subscribes a live writer, so long gateway runs can tail
+        the file while the simulation is serving.  Lines are flushed
+        per event.  Returns a zero-argument ``close()`` callable that
+        unsubscribes and closes the file.
+        """
+        fh = open(path, "w")
+
+        def _write(ev: TraceEvent) -> None:
+            fh.write(json.dumps(ev.as_dict(), sort_keys=True) + "\n")
+            fh.flush()
+
+        self.subscribe(_write)
+
+        def close() -> None:
+            self.unsubscribe(_write)
+            fh.close()
+
+        return close
+
     def to_jsonl(self, path) -> int:
         """Write retained events as JSON Lines; returns the line count."""
         with open(path, "w") as fh:

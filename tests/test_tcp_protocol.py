@@ -167,6 +167,57 @@ class TestWindowRules:
         second = conn.persist_timer.expiry - sim.now
         assert second > first
 
+    def test_persist_backoff_resets_across_episodes(self):
+        # A stale _persist_shift must not leak into the next
+        # zero-window episode: after the window reopens via a normal
+        # inbound ACK (no probe ever answered), a fresh episode's first
+        # probe fires at persist_min again, not at 2^shift backoff.
+        sim, net, conn = make_conn()
+        establish(sim, net, conn, peer_window=0)
+        conn.send(b"z" * 100)
+        assert conn.persist_timer.armed
+        first = conn.persist_timer.expiry - sim.now
+
+        # episode 1: several unanswered probes grow the backoff shift
+        for _ in range(5):
+            sim.run(until=conn.persist_timer.expiry + 0.001)
+        assert conn._persist_shift >= 5
+        probes_ep1 = conn.trace.counters.get("tcp.zero_window_probes")
+        assert probes_ep1 == 5
+
+        # the window reopens via a plain window-update ACK
+        reopen = Segment(src_port=2000, dst_port=1000, seq=conn.rcv_nxt,
+                         ack=conn.snd_una, flags=FLAG_ACK, window=4096)
+        conn.on_segment(reopen, FakePacket())
+        assert conn._persist_shift == 0
+        assert not conn.persist_timer.armed
+
+        # drain: the peer acks everything outstanding
+        net.clear()
+        sim.run(until=sim.now + 1.0)
+        ack_all = Segment(src_port=2000, dst_port=1000, seq=conn.rcv_nxt,
+                          ack=conn.snd_max, flags=FLAG_ACK, window=4096)
+        conn.on_segment(ack_all, FakePacket())
+        assert conn.flight_size() == 0
+
+        # episode 2: the window slams shut again
+        close = Segment(src_port=2000, dst_port=1000, seq=conn.rcv_nxt,
+                        ack=conn.snd_max, flags=FLAG_ACK, window=0)
+        conn.on_segment(close, FakePacket())
+        conn.send(b"y" * 100)
+        assert conn.persist_timer.armed
+        second = conn.persist_timer.expiry - sim.now
+        assert abs(second - first) < 1e-9
+        assert abs(second - conn.params.persist_min) < 1e-9
+
+        # and its first probe still counts in the shared counter
+        net.clear()
+        sim.run(until=conn.persist_timer.expiry + 0.001)
+        probe = net.pop()
+        assert len(probe.data) == 1
+        assert conn.trace.counters.get("tcp.zero_window_probes") \
+            == probes_ep1 + 1
+
 
 class TestTimestampEcho:
     def test_echo_reflects_peer_tsval(self):

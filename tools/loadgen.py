@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Drive concurrent client load against a running gateway.
+
+Opens N real TCP (or UDP) sockets against a gateway endpoint, runs one
+echo exchange per connection, and prints p50/p95/p99 latency.  This is
+the external half of the serving acceptance check: start a gateway
+(``python -m repro.gateway`` or your own script), then point this tool
+at it::
+
+    python tools/loadgen.py --host 127.0.0.1 --port 18000 \
+        --connections 1000 --json loadgen.json
+
+Exit status is non-zero if any exchange failed.
+"""
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.gateway.loadgen import run_tcp_loadgen, run_udp_loadgen  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--mode", choices=["tcp", "udp"], default="tcp")
+    parser.add_argument("--connections", type=int, default=1000,
+                        help="concurrent connections (default 1000)")
+    parser.add_argument("--concurrency", type=int, default=None,
+                        help="cap on simultaneously open sockets "
+                             "(default: all connections at once)")
+    parser.add_argument("--payload-bytes", type=int, default=18)
+    parser.add_argument("--ramp-seconds", type=float, default=0.0,
+                        help="spread connection starts over this window")
+    parser.add_argument("--timeout", type=float, default=60.0)
+    parser.add_argument("--json", default=None,
+                        help="also write the full report to this path")
+    args = parser.parse_args(argv)
+
+    payload = (b"x" * args.payload_bytes)[: args.payload_bytes] or b"x"
+    run = run_tcp_loadgen if args.mode == "tcp" else run_udp_loadgen
+    report = asyncio.run(run(
+        args.host, args.port,
+        connections=args.connections,
+        payload=payload,
+        timeout=args.timeout,
+        concurrency=args.concurrency,
+        ramp_seconds=args.ramp_seconds,
+    ))
+    print(report.summary())
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return 0 if report.errors == 0 and report.completed > 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
