@@ -25,6 +25,11 @@ The scenarios deliberately cover the distinct hot paths:
   injector's determinism (``fault_events`` is exact-matched across
   trials and against the baseline) and TCP's behaviour under compound
   faults.
+* ``campaign_grid`` — the campaign-engine gate: a 2x2 grid of short
+  bulk transfers expanded and executed through
+  ``repro.api.run_campaign`` (no store), exact-matching the per-run
+  goodput list so expansion order, cell execution, and the statistics
+  pipeline are all pinned.
 * ``dense_mesh`` — the hundred-node scale gate: a 10x10 router grid
   carrying 24 staggered concurrent TCP flows through a ``FlowSet``.
   Exercises the Medium's spatial-index adjacency rebuild, MeshRouting
@@ -42,10 +47,12 @@ from repro.api import (
     BulkTransfer,
     FlowSet,
     FlowSpec,
+    TcpParams,
     TcpStack,
     build_chain,
     build_grid_mesh,
     build_pair,
+    mss_for_frames,
     tcplp_params,
 )
 from repro.mac.poll import PollParams
@@ -307,6 +314,68 @@ def sharded_mesh(duration: float = 7.0, seed: int = 3, shards: int = 4,
     }
 
 
+def _campaign_cell(quick: bool, frames: int = 3, seed: int = 1,
+                   duration: float = 10.0, accel: bool = False,
+                   fidelity: str = "full") -> Dict:
+    """One campaign grid cell: a short one-hop bulk transfer.
+
+    Module-level (the campaign catalog contract) so pooled campaign
+    runs could dispatch it; here it runs serially in-process.
+    """
+    net = build_pair(seed=seed, accel=accel, fidelity=fidelity)
+    mss = mss_for_frames(frames)
+    params = TcpParams(mss=mss, send_buffer=4 * mss, recv_buffer=4 * mss)
+    src, dst = _stack(net, 1), _stack(net, 0)
+    xfer = BulkTransfer(net.sim, src, dst, receiver_id=0, params=params,
+                        receiver_params=params)
+    res = xfer.measure(5.0, duration)
+    return {
+        "events": net.sim.events_processed,
+        "goodput_kbps": round(res.goodput_kbps, 2),
+        "frames_delivered": net.medium.frames_delivered,
+    }
+
+
+def campaign_grid(duration: float = 10.0, seed: int = 1,
+                  accel: bool = False, fidelity: str = "full") -> Dict:
+    """The campaign engine as a perf scenario (docs/campaigns.md).
+
+    Expands a 2-frames x 2-seeds grid over :func:`_campaign_cell` and
+    executes it through ``repro.api.run_campaign`` with no store, so
+    every trial runs the full expansion + execution + statistics
+    pipeline.  Guards both the engine's dispatch overhead (events/sec
+    over the summed cells) and the determinism of the whole path: the
+    per-run goodput list and summed counters are exact-matched across
+    trials and against the baseline.
+    """
+    from repro.api import ExperimentCatalog, run_campaign
+
+    catalog = ExperimentCatalog({"bulk_cell": _campaign_cell})
+    spec = {
+        "name": "bench-campaign",
+        "experiments": ["bulk_cell"],
+        "grid": {"frames": [2, 5], "duration": [duration]},
+        "seeds": [seed, seed + 1],
+        "kernel": {"accel": accel, "fidelity": fidelity},
+    }
+    t0 = time.perf_counter()
+    report = run_campaign(spec, store=None, catalog=catalog,
+                          progress=lambda *_: None)
+    wall = time.perf_counter() - t0
+    runs = [r for cell in report.cells for r in cell.results]
+    if any(r is None for r in runs) or report.execution["errors"]:
+        raise AssertionError(
+            f"campaign_grid: failed runs: {report.execution['errors']}")
+    return {
+        "events": sum(r["events"] for r in runs),
+        "wall_s": wall,
+        "goodput_kbps": [r["goodput_kbps"] for r in runs],
+        "frames_delivered": sum(r["frames_delivered"] for r in runs),
+        "campaign_cells": len(report.cells),
+        "campaign_runs": len(runs),
+    }
+
+
 #: scenario name -> (callable, smoke-mode duration, full-mode duration)
 SCENARIOS = {
     "one_hop_bulk": (one_hop_bulk, 20.0, 60.0),
@@ -315,4 +384,5 @@ SCENARIOS = {
     "loss_sweep": (loss_sweep, 15.0, 40.0),
     "chaos_faults": (chaos_faults, 40.0, 60.0),
     "dense_mesh": (dense_mesh, 20.0, 45.0),
+    "campaign_grid": (campaign_grid, 6.0, 15.0),
 }

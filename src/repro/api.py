@@ -75,10 +75,31 @@ slack accounting), :class:`SessionBackoff`, and the loadgen drivers
 registry (all of it, or a named subset) and returns ``(results,
 meta)`` exactly like ``python -m repro.experiments.runner`` would
 write to JSON.
+
+**Campaigns** — the declarative sweep layer (see docs/campaigns.md):
+:class:`~repro.campaign.spec.CampaignSpec` (validated JSON/dict
+declaring experiments × parameter grid × seeds × faults × kernel
+knobs), :func:`run_campaign` / :func:`load_campaign` (execute a spec —
+or only its uncached delta, against a content-addressed
+:class:`~repro.campaign.store.ResultStore` — and return a
+:class:`~repro.campaign.report.CampaignReport` with per-cell
+repetition statistics), :class:`~repro.campaign.catalog
+.ExperimentCatalog` / :func:`default_catalog` (the experiment registry
+as an object), and :class:`~repro.campaign.spec.RunSpec` (the
+content-addressed unit of execution).
 """
 
 from __future__ import annotations
 
+from repro.campaign import (
+    CampaignReport,
+    CampaignSpec,
+    ExperimentCatalog,
+    ResultStore,
+    RunSpec,
+    load_campaign,
+    run_campaign,
+)
 from repro.core.params import (
     TcpParams,
     linux_like_params,
@@ -204,6 +225,19 @@ def run_experiments(quick: bool = True, only=None, jobs: int = 1,
                             retry_backoff=retry_backoff)
 
 
+def default_catalog():
+    """The process-wide default experiment catalog.
+
+    A lazy wrapper over
+    :func:`repro.experiments.runner.default_catalog` (the runner pulls
+    in every experiment module, so importing it is deferred until a
+    campaign actually needs the built-in experiments).
+    """
+    from repro.experiments.runner import default_catalog as _dc
+
+    return _dc()
+
+
 __all__ = [
     # kernel
     "Simulator",
@@ -267,4 +301,13 @@ __all__ = [
     "run_udp_loadgen",
     # experiments
     "run_experiments",
+    # campaigns
+    "CampaignReport",
+    "CampaignSpec",
+    "ExperimentCatalog",
+    "ResultStore",
+    "RunSpec",
+    "default_catalog",
+    "load_campaign",
+    "run_campaign",
 ]

@@ -1,0 +1,67 @@
+"""Declarative sweep campaigns over the experiment catalog.
+
+The campaign engine turns "run these experiments over this parameter
+grid, N seeds each, and give me statistics" into one validated
+document and one call::
+
+    from repro.api import run_campaign, ResultStore
+
+    report = run_campaign({
+        "name": "fig9-loss",
+        "experiments": ["fig9_cell"],
+        "grid": {"protocol": ["tcp"], "loss": [0.0, 0.09, 0.15]},
+        "seeds": [0, 1, 2],
+    }, store=ResultStore("results/store"))
+
+Layers (one module each):
+
+* :mod:`~repro.campaign.spec` — ``CampaignSpec``/``RunSpec``:
+  validation and deterministic expansion;
+* :mod:`~repro.campaign.catalog` — ``ExperimentCatalog`` and the
+  shared name resolver;
+* :mod:`~repro.campaign.store` — content-addressed ``ResultStore``
+  (code-salted hashes, atomic writes, free resume);
+* :mod:`~repro.campaign.stats` — repetition aggregation with t or
+  bootstrap confidence intervals;
+* :mod:`~repro.campaign.engine` — job execution (serial / pool /
+  supervised) and the ``run_campaign`` driver;
+* :mod:`~repro.campaign.search` — objective mode (golden-section or
+  grid over one axis);
+* :mod:`~repro.campaign.report` — ``CampaignReport``: deterministic
+  document, JSONL export, grid tables.
+
+See docs/campaigns.md for the full schema and caching contract.
+"""
+
+from repro.campaign.catalog import ExperimentCatalog, resolve_selection
+from repro.campaign.engine import (CatalogResolver, ExecOptions, Job,
+                                   execute_jobs, load_campaign,
+                                   plan_campaign, run_campaign)
+from repro.campaign.report import CampaignReport, CellResult
+from repro.campaign.search import golden_section, grid_search
+from repro.campaign.spec import CampaignSpec, RunSpec
+from repro.campaign.stats import aggregate, auto_metrics, bootstrap_ci
+from repro.campaign.store import ResultStore, code_salt
+
+__all__ = [
+    "CampaignReport",
+    "CampaignSpec",
+    "CatalogResolver",
+    "CellResult",
+    "ExecOptions",
+    "ExperimentCatalog",
+    "Job",
+    "ResultStore",
+    "RunSpec",
+    "aggregate",
+    "auto_metrics",
+    "bootstrap_ci",
+    "code_salt",
+    "execute_jobs",
+    "golden_section",
+    "grid_search",
+    "load_campaign",
+    "plan_campaign",
+    "resolve_selection",
+    "run_campaign",
+]

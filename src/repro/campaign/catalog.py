@@ -1,0 +1,171 @@
+"""Experiment catalog: a registry object instead of module-global state.
+
+Historically the runner kept extra experiments in a module-global dict
+behind ``register_experiment``/``unregister_experiment``, so campaigns
+and tests mutated shared process state.  :class:`ExperimentCatalog` is
+the replacement: an ordinary object holding ``name -> factory``
+entries, where a factory is a callable ``factory(quick, **params)``
+returning a JSON-serialisable result.  The default catalog (the
+paper's registry plus anything registered through the legacy shims)
+lives in :func:`repro.experiments.runner.default_catalog`; campaigns
+may pass their own catalog and never touch it.
+
+Factories must be importable module-level callables (or
+``functools.partial`` over them) so supervised and pooled runs can
+dispatch them to worker processes — the same contract the legacy
+``register_experiment`` documented.
+
+:func:`resolve_selection` is the one name-resolver shared by the
+runner CLI (``--only``), the programmatic API (``only=``), and
+``CampaignSpec`` — comma- and space-separated forms both work
+everywhere, and unknown names fail with close-match suggestions.
+"""
+
+from __future__ import annotations
+
+import difflib
+import inspect
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+
+def resolve_selection(
+    selection,
+    available: Iterable[str],
+    what: str = "experiment",
+) -> Optional[List[str]]:
+    """Resolve a user-supplied name selection against ``available``.
+
+    ``selection`` may be ``None`` (meaning "everything"; returns
+    ``None``), a single string, or an iterable of strings; every
+    string may itself be comma- or whitespace-separated
+    (``"a,b"``, ``"a b"``, ``["a", "b,c"]`` are all accepted — the
+    CLI's and the API's historical splitting rules, unified).  The
+    result preserves first-mention order and drops duplicates.
+
+    Unknown names raise ``ValueError`` listing close matches (and the
+    full catalog), so a typo'd ``--only fig9_los`` says "did you mean
+    'fig9_loss'?" instead of dumping a wall of names.
+    """
+    if selection is None:
+        return None
+    if isinstance(selection, str):
+        selection = [selection]
+    names: List[str] = []
+    for item in selection:
+        if not isinstance(item, str):
+            raise ValueError(
+                f"{what} selection entries must be strings, got {item!r}")
+        for part in item.replace(",", " ").split():
+            if part not in names:
+                names.append(part)
+    if not names:
+        raise ValueError(f"empty {what} selection")
+    available = list(available)
+    unknown = [n for n in names if n not in available]
+    if unknown:
+        hints = []
+        for n in unknown:
+            close = difflib.get_close_matches(n, available, n=3, cutoff=0.5)
+            if close:
+                hints.append(f"{n!r} (did you mean "
+                             f"{' or '.join(repr(c) for c in close)}?)")
+            else:
+                hints.append(repr(n))
+        raise ValueError(
+            f"unknown {what}(s): {', '.join(hints)}; "
+            f"choose from {available}"
+        )
+    return names
+
+
+class ExperimentCatalog:
+    """An ordered mapping of experiment name -> factory.
+
+    A factory is ``factory(quick, **params)``: ``quick`` scales
+    durations, ``params`` are the campaign grid-cell keyword
+    arguments (validated against the factory's signature at spec
+    time).  Catalogs are plain objects — copy one, register into the
+    copy, and the original (including the process-wide default) is
+    untouched.
+    """
+
+    def __init__(self, entries: Optional[Dict[str, Callable]] = None):
+        self._entries: Dict[str, Callable] = dict(entries or {})
+
+    # -- mutation ------------------------------------------------------
+
+    def register(self, name: str, factory: Callable) -> None:
+        """Add (or replace) ``name``; ``factory(quick, **params)``.
+
+        Factories must be module-level callables so worker processes
+        can run them.
+        """
+        if not callable(factory):
+            raise ValueError(f"factory for {name!r} is not callable")
+        self._entries[name] = factory
+
+    def unregister(self, name: str) -> None:
+        """Remove an entry (idempotent, like the legacy shim)."""
+        self._entries.pop(name, None)
+
+    def copy(self) -> "ExperimentCatalog":
+        """An independent catalog with the same entries."""
+        return ExperimentCatalog(self._entries)
+
+    # -- lookup --------------------------------------------------------
+
+    def names(self) -> List[str]:
+        """Registration order, like the legacy registry."""
+        return list(self._entries)
+
+    def get(self, name: str) -> Callable:
+        if name not in self._entries:
+            # reuse the resolver purely for its error message
+            resolve_selection([name], self._entries, what="experiment")
+        return self._entries[name]
+
+    def resolve(self, selection) -> Optional[List[str]]:
+        """Shared-resolver front end scoped to this catalog."""
+        return resolve_selection(selection, self._entries)
+
+    def accepted_params(self, name: str) -> Tuple[set, bool]:
+        """``(keyword names, accepts_var_keyword)`` for ``name``.
+
+        The first positional parameter (``quick``) is excluded; a
+        factory wrapped in ``functools.partial`` is unwrapped so
+        pre-bound arguments don't count as free parameters.
+        """
+        fn = self.get(name)
+        try:
+            sig = inspect.signature(fn)
+        except (TypeError, ValueError):
+            return set(), True  # unintrospectable: trust the caller
+        names = set()
+        var_kw = False
+        params = list(sig.parameters.values())
+        # drop the leading `quick` positional unless partial() bound it
+        if params and params[0].kind in (
+                inspect.Parameter.POSITIONAL_ONLY,
+                inspect.Parameter.POSITIONAL_OR_KEYWORD):
+            params = params[1:]
+        for p in params:
+            if p.kind is inspect.Parameter.VAR_KEYWORD:
+                var_kw = True
+            elif p.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                            inspect.Parameter.KEYWORD_ONLY):
+                names.add(p.name)
+        return names, var_kw
+
+    # -- dunders -------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"ExperimentCatalog({len(self._entries)} experiments)"

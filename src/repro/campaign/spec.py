@@ -1,0 +1,516 @@
+"""Campaign specs: a validated, declarative description of many runs.
+
+A campaign is a JSON/dict document (mirroring the ``FaultSchedule``
+pattern: eager validation, round-trippable ``to_dict``) declaring
+experiments x a parameter grid x seeds x fault schedule x kernel
+knobs, expanded deterministically into :class:`RunSpec` cells::
+
+    {
+      "name": "fig9-loss",
+      "experiments": ["fig9_cell"],
+      "quick": true,
+      "grid": {"protocol": ["tcp", "coap"], "loss": [0.0, 0.09, 0.15]},
+      "seeds": [0, 1, 2],
+      "faults": null,
+      "kernel": {"accel": false, "fidelity": "full"},
+      "runner": {"jobs": 4, "timeout_s": null, "retries": 0,
+                 "retry_backoff_s": 2.0, "verify": false, "metrics": false},
+      "stats": {"confidence": 0.95, "method": "t", "warmup": 0,
+                "outlier_iqr": null, "metrics": null},
+      "objective": null
+    }
+
+Expansion order is fixed — experiments in spec order, grid axes in
+spec key order, values in spec order, seeds last — so the RunSpec
+list (and every content hash derived from it) is identical across
+processes and machines.  A *cell* is one ``(experiment, grid
+point)``; its seeds are the repetitions the statistics layer
+aggregates over.
+
+``objective`` switches on search mode (see
+:mod:`repro.campaign.search`): instead of (or in addition to) the
+grid, one axis is optimised against a scalar metric.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.campaign.catalog import ExperimentCatalog, resolve_selection
+
+#: kernel-knob defaults; ``shards`` deliberately absent — sharded runs
+#: are driven by a ShardRecipe, not by the experiment registry
+_KERNEL_DEFAULTS = {"accel": False, "fidelity": "full"}
+
+#: runner-block defaults, mirroring ``runner.main()``'s legacy flags
+#: (the flag -> field migration table lives in docs/api.md)
+_RUNNER_DEFAULTS = {
+    "jobs": 1,            # --jobs
+    "timeout_s": None,    # --timeout
+    "retries": 0,         # --retries
+    "retry_backoff_s": 2.0,  # --retry-backoff
+    "verify": False,      # --verify
+    "metrics": False,     # --metrics-out (the path is a CLI concern)
+}
+
+_STATS_DEFAULTS = {
+    "confidence": 0.95,
+    "method": "t",        # "t" | "bootstrap"
+    "warmup": 0,          # repetitions discarded from the front
+    "outlier_iqr": None,  # IQR fence multiplier, e.g. 1.5; None = off
+    "bootstrap_samples": 1000,
+    "metrics": None,      # list of result fields to aggregate; None = auto
+}
+
+
+def _fail(path: str, message: str):
+    raise ValueError(f"campaign spec: {path}: {message}")
+
+
+def _check_block(block, defaults: Dict, path: str) -> Dict:
+    """Validate a ``{key: value}`` block against typed defaults."""
+    if block is None:
+        return dict(defaults)
+    if not isinstance(block, dict):
+        _fail(path, f"must be an object, got {block!r}")
+    unknown = set(block) - set(defaults)
+    if unknown:
+        _fail(path, f"unknown keys {sorted(unknown)} "
+                    f"(expected {sorted(defaults)})")
+    out = dict(defaults)
+    out.update(block)
+    return out
+
+
+def _json_scalar(value) -> bool:
+    return value is None or isinstance(value, (bool, int, float, str))
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-determined run: the unit of execution and caching.
+
+    ``params`` never includes the seed — the seed is a separate field
+    so the statistics layer can group repetitions of the same cell.
+    ``seed`` is ``None`` for experiments that do not take one (the
+    run is then its cell's only repetition).
+    """
+
+    experiment: str
+    params: tuple = ()          # sorted ((name, value), ...) pairs
+    seed: Optional[int] = None
+    quick: bool = True
+    faults: Optional[tuple] = None   # canonical JSON string, or None
+    kernel: tuple = (("accel", False), ("fidelity", "full"))
+
+    @classmethod
+    def build(cls, experiment: str, params: Dict, seed, quick: bool,
+              faults: Optional[Dict], kernel: Dict) -> "RunSpec":
+        return cls(
+            experiment=experiment,
+            params=tuple(sorted(params.items())),
+            seed=seed,
+            quick=bool(quick),
+            faults=(json.dumps(faults, sort_keys=True),) if faults else None,
+            kernel=tuple(sorted(kernel.items())),
+        )
+
+    # -- views ---------------------------------------------------------
+
+    @property
+    def params_dict(self) -> Dict:
+        return dict(self.params)
+
+    @property
+    def kernel_dict(self) -> Dict:
+        return dict(self.kernel)
+
+    @property
+    def faults_dict(self) -> Optional[Dict]:
+        return json.loads(self.faults[0]) if self.faults else None
+
+    def call_params(self, accepted: set, var_kw: bool) -> Dict:
+        """The kwargs actually passed to the factory.
+
+        The seed and any non-default kernel knobs ride along when the
+        factory accepts them (spec validation already guaranteed it
+        for non-defaults).
+        """
+        kwargs = self.params_dict
+        if self.seed is not None and (var_kw or "seed" in accepted):
+            kwargs["seed"] = self.seed
+        for knob, value in self.kernel:
+            if value != _KERNEL_DEFAULTS[knob] and (var_kw
+                                                   or knob in accepted):
+                kwargs[knob] = value
+        return kwargs
+
+    def to_dict(self) -> Dict:
+        return {
+            "experiment": self.experiment,
+            "params": self.params_dict,
+            "seed": self.seed,
+            "quick": self.quick,
+            "faults": self.faults_dict,
+            "kernel": self.kernel_dict,
+        }
+
+    # -- content addressing -------------------------------------------
+
+    def canonical(self) -> str:
+        """Canonical JSON: the hashed identity of this run."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def run_id(self, salt: str = "") -> str:
+        """Content address: sha256(code-version salt + canonical spec)."""
+        h = hashlib.sha256()
+        h.update(salt.encode())
+        h.update(b"\x00")
+        h.update(self.canonical().encode())
+        return h.hexdigest()
+
+    def cell_id(self) -> str:
+        """Identity of the cell this run repeats (seed excluded)."""
+        d = self.to_dict()
+        d.pop("seed")
+        return json.dumps(d, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass
+class CampaignSpec:
+    """A validated campaign document (use :meth:`from_dict`)."""
+
+    name: str = ""
+    experiments: List[str] = field(default_factory=list)
+    quick: bool = True
+    grid: Dict[str, List] = field(default_factory=dict)
+    seeds: List[int] = field(default_factory=lambda: [0])
+    faults: Optional[Dict] = None
+    kernel: Dict = field(default_factory=lambda: dict(_KERNEL_DEFAULTS))
+    runner: Dict = field(default_factory=lambda: dict(_RUNNER_DEFAULTS))
+    stats: Dict = field(default_factory=lambda: dict(_STATS_DEFAULTS))
+    objective: Optional[Dict] = None
+
+    _TOP_KEYS = {"name", "experiment", "experiments", "quick", "grid",
+                 "seeds", "faults", "kernel", "runner", "stats",
+                 "objective"}
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, spec: Dict) -> "CampaignSpec":
+        if not isinstance(spec, dict):
+            raise ValueError(
+                f"campaign spec must be a dict, got {type(spec).__name__}")
+        unknown = set(spec) - cls._TOP_KEYS
+        if unknown:
+            _fail("top level", f"unknown keys {sorted(unknown)} "
+                               f"(expected a subset of "
+                               f"{sorted(cls._TOP_KEYS)})")
+        if "experiment" in spec and "experiments" in spec:
+            _fail("experiments",
+                  "give either 'experiment' or 'experiments', not both")
+        raw_exps = spec.get("experiments", spec.get("experiment", []))
+        if isinstance(raw_exps, str):
+            raw_exps = [raw_exps]
+        if not isinstance(raw_exps, list) or not all(
+                isinstance(e, str) for e in raw_exps):
+            _fail("experiments", f"must be a name or list of names, "
+                                 f"got {raw_exps!r}")
+        # split comma/space forms through the shared resolver rules
+        # (availability is checked later, against the catalog)
+        experiments: List[str] = []
+        for item in raw_exps:
+            for part in item.replace(",", " ").split():
+                if part not in experiments:
+                    experiments.append(part)
+        # an empty selection means "the whole catalog" (the legacy
+        # runner's no---only behaviour); resolved at expand() time
+
+        quick = spec.get("quick", True)
+        if not isinstance(quick, bool):
+            _fail("quick", f"must be a boolean, got {quick!r}")
+
+        grid = spec.get("grid") or {}
+        if not isinstance(grid, dict):
+            _fail("grid", f"must be an object, got {grid!r}")
+        for axis, values in grid.items():
+            if not isinstance(axis, str):
+                _fail("grid", f"axis names must be strings, got {axis!r}")
+            if not isinstance(values, list) or not values:
+                _fail(f"grid.{axis}",
+                      f"must be a non-empty list, got {values!r}")
+            for v in values:
+                if not _json_scalar(v):
+                    _fail(f"grid.{axis}",
+                          f"values must be JSON scalars, got {v!r}")
+            if len(set(map(repr, values))) != len(values):
+                _fail(f"grid.{axis}", f"duplicate values in {values!r}")
+
+        seeds = spec.get("seeds", [0])
+        if isinstance(seeds, dict):
+            extra = set(seeds) - {"count", "base"}
+            if extra:
+                _fail("seeds", f"unknown keys {sorted(extra)}")
+            count = seeds.get("count")
+            if not isinstance(count, int) or isinstance(count, bool) \
+                    or count < 1:
+                _fail("seeds.count", f"must be a positive integer, "
+                                     f"got {count!r}")
+            base = seeds.get("base", 0)
+            if not isinstance(base, int) or isinstance(base, bool):
+                _fail("seeds.base", f"must be an integer, got {base!r}")
+            seeds = list(range(base, base + count))
+        if not isinstance(seeds, list) or not seeds or not all(
+                isinstance(s, int) and not isinstance(s, bool)
+                for s in seeds):
+            _fail("seeds", f"must be a non-empty list of integers "
+                           f"(or {{'count': N, 'base': B}}), got {seeds!r}")
+        if len(set(seeds)) != len(seeds):
+            _fail("seeds", f"duplicate seeds in {seeds!r}")
+
+        faults = spec.get("faults")
+        if faults is not None:
+            from repro.faults import FaultSchedule
+
+            faults = FaultSchedule.from_dict(faults).to_dict()
+
+        kernel = _check_block(spec.get("kernel"), _KERNEL_DEFAULTS,
+                              "kernel")
+        if not isinstance(kernel["accel"], bool):
+            _fail("kernel.accel", f"must be a boolean, "
+                                  f"got {kernel['accel']!r}")
+        if kernel["fidelity"] not in ("full", "hybrid"):
+            _fail("kernel.fidelity", f"must be 'full' or 'hybrid', "
+                                     f"got {kernel['fidelity']!r}")
+
+        runner = _check_block(spec.get("runner"), _RUNNER_DEFAULTS,
+                              "runner")
+        if not isinstance(runner["jobs"], int) or runner["jobs"] < 1:
+            _fail("runner.jobs", f"must be an integer >= 1, "
+                                 f"got {runner['jobs']!r}")
+        if runner["timeout_s"] is not None and not (
+                isinstance(runner["timeout_s"], (int, float))
+                and runner["timeout_s"] > 0):
+            _fail("runner.timeout_s", f"must be a positive number or "
+                                      f"null, got {runner['timeout_s']!r}")
+        if not isinstance(runner["retries"], int) or runner["retries"] < 0:
+            _fail("runner.retries", f"must be an integer >= 0, "
+                                    f"got {runner['retries']!r}")
+        if runner["retries"] and runner["timeout_s"] is None:
+            _fail("runner.retries", "requires runner.timeout_s "
+                                    "(supervised mode)")
+        for flag in ("verify", "metrics"):
+            if not isinstance(runner[flag], bool):
+                _fail(f"runner.{flag}", f"must be a boolean, "
+                                        f"got {runner[flag]!r}")
+
+        stats = _check_block(spec.get("stats"), _STATS_DEFAULTS, "stats")
+        if not (isinstance(stats["confidence"], float)
+                and 0.0 < stats["confidence"] < 1.0):
+            _fail("stats.confidence", f"must be a float in (0, 1), "
+                                      f"got {stats['confidence']!r}")
+        if stats["method"] not in ("t", "bootstrap"):
+            _fail("stats.method", f"must be 't' or 'bootstrap', "
+                                  f"got {stats['method']!r}")
+        if not isinstance(stats["warmup"], int) or stats["warmup"] < 0:
+            _fail("stats.warmup", f"must be an integer >= 0, "
+                                  f"got {stats['warmup']!r}")
+        if stats["outlier_iqr"] is not None and not (
+                isinstance(stats["outlier_iqr"], (int, float))
+                and stats["outlier_iqr"] > 0):
+            _fail("stats.outlier_iqr", f"must be a positive number or "
+                                       f"null, got {stats['outlier_iqr']!r}")
+        if stats["metrics"] is not None and not (
+                isinstance(stats["metrics"], list)
+                and all(isinstance(m, str) for m in stats["metrics"])):
+            _fail("stats.metrics", f"must be a list of result-field "
+                                   f"names or null, "
+                                   f"got {stats['metrics']!r}")
+
+        objective = spec.get("objective")
+        if objective is not None:
+            from repro.campaign.search import validate_objective
+
+            objective = validate_objective(objective)
+
+        return cls(
+            name=str(spec.get("name", "")),
+            experiments=experiments,
+            quick=quick,
+            grid={k: list(v) for k, v in grid.items()},
+            seeds=list(seeds),
+            faults=faults,
+            kernel=kernel,
+            runner=runner,
+            stats=stats,
+            objective=objective,
+        )
+
+    @classmethod
+    def from_json(cls, path) -> "CampaignSpec":
+        """Load and validate a JSON campaign file."""
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
+
+    @classmethod
+    def single_cell(cls, experiments=None, quick: bool = True,
+                    faults: Optional[Dict] = None, jobs: int = 1,
+                    timeout_s=None, retries: int = 0,
+                    retry_backoff_s: float = 2.0, verify: bool = False,
+                    metrics: bool = False,
+                    name: str = "") -> "CampaignSpec":
+        """The legacy runner's flag soup as a degenerate campaign.
+
+        One cell per selected experiment, no grid, no repetition
+        seeds — exactly what ``runner.main()``'s old ad-hoc flags
+        expressed.  ``runner.main()`` builds one of these and feeds
+        it back through :meth:`runner_kwargs`; the flag -> field
+        migration table is in docs/api.md.
+        """
+        return cls.from_dict({
+            "name": name,
+            "experiments": list(experiments) if experiments else [],
+            "quick": quick,
+            "faults": faults,
+            "runner": {
+                "jobs": jobs,
+                "timeout_s": timeout_s,
+                "retries": retries,
+                "retry_backoff_s": retry_backoff_s,
+                "verify": verify,
+                "metrics": metrics,
+            },
+        })
+
+    # -- round trip ----------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "experiments": list(self.experiments),
+            "quick": self.quick,
+            "grid": {k: list(v) for k, v in self.grid.items()},
+            "seeds": list(self.seeds),
+            "faults": self.faults,
+            "kernel": dict(self.kernel),
+            "runner": dict(self.runner),
+            "stats": dict(self.stats),
+            "objective": self.objective,
+        }
+
+    def digest(self) -> str:
+        """sha256 of the canonicalized spec (for report provenance)."""
+        canon = json.dumps(self.to_dict(), sort_keys=True,
+                           separators=(",", ":"))
+        return hashlib.sha256(canon.encode()).hexdigest()
+
+    def runner_kwargs(self) -> Dict:
+        """This spec as ``run_all_detailed`` keyword arguments.
+
+        The inverse of :meth:`single_cell`: grid campaigns cannot be
+        expressed this way (the legacy entry point has no grid), so
+        this raises if the spec carries one.
+        """
+        if self.grid or self.objective or self.seeds != [0]:
+            raise ValueError(
+                "only single-cell campaigns map onto the legacy "
+                "runner signature; run this spec through "
+                "repro.api.run_campaign instead")
+        return {
+            "quick": self.quick,
+            "only": list(self.experiments) or None,
+            "jobs": self.runner["jobs"],
+            "collect_metrics": self.runner["metrics"],
+            "fault_spec": self.faults,
+            "verify": self.runner["verify"],
+            "timeout": self.runner["timeout_s"],
+            "retries": self.runner["retries"],
+            "retry_backoff": self.runner["retry_backoff_s"],
+        }
+
+    # -- expansion -----------------------------------------------------
+
+    def expand(self, catalog: Optional[ExperimentCatalog] = None,
+               ) -> List[RunSpec]:
+        """Deterministic expansion into :class:`RunSpec` cells x seeds.
+
+        With a ``catalog``, experiment names and every grid axis are
+        validated against the factory signatures (unknown axes fail
+        with close-match suggestions, like unknown experiment names).
+        """
+        experiments = self.experiments
+        if catalog is not None:
+            if experiments:
+                resolve_selection(experiments, catalog.names())
+            else:
+                experiments = catalog.names()
+        runs: List[RunSpec] = []
+        axes = list(self.grid)
+        for experiment in experiments:
+            accepted, var_kw = (set(), True)
+            if catalog is not None:
+                accepted, var_kw = catalog.accepted_params(experiment)
+                bad = [a for a in axes if a not in accepted] \
+                    if not var_kw else []
+                if bad:
+                    import difflib
+
+                    hints = []
+                    for axis in bad:
+                        close = difflib.get_close_matches(
+                            axis, sorted(accepted), n=3, cutoff=0.5)
+                        hints.append(
+                            f"{axis!r}"
+                            + (f" (did you mean "
+                               f"{' or '.join(repr(c) for c in close)}?)"
+                               if close else ""))
+                    _fail("grid", f"experiment {experiment!r} does not "
+                                  f"accept axis {', '.join(hints)}; "
+                                  f"it accepts {sorted(accepted)}")
+                takes_seed = var_kw or "seed" in accepted
+                if not takes_seed and (len(self.seeds) > 1
+                                       or self.seeds != [0]):
+                    _fail("seeds", f"experiment {experiment!r} does not "
+                                   f"accept a seed, so repetition "
+                                   f"seeds {self.seeds} cannot apply")
+                for knob, value in self.kernel.items():
+                    if value != _KERNEL_DEFAULTS[knob] and not (
+                            var_kw or knob in accepted):
+                        _fail(f"kernel.{knob}",
+                              f"experiment {experiment!r} does not "
+                              f"accept the {knob!r} knob")
+            else:
+                takes_seed = True
+            seeds = self.seeds if takes_seed else [None]
+            for point in _grid_points(axes, self.grid):
+                for seed in seeds:
+                    runs.append(RunSpec.build(
+                        experiment=experiment, params=point, seed=seed,
+                        quick=self.quick, faults=self.faults,
+                        kernel=self.kernel))
+        return runs
+
+    def cells(self) -> int:
+        """Number of grid cells (runs / repetitions)."""
+        n = 1
+        for values in self.grid.values():
+            n *= len(values)
+        return n * max(1, len(self.experiments))
+
+
+def _grid_points(axes: List[str], grid: Dict[str, List]):
+    """Cartesian product in spec order (first axis outermost)."""
+    if not axes:
+        yield {}
+        return
+    head, rest = axes[0], axes[1:]
+    for value in grid[head]:
+        for tail in _grid_points(rest, grid):
+            point = {head: value}
+            point.update(tail)
+            yield point

@@ -1,0 +1,118 @@
+"""Content-addressed result store: re-running a campaign is a lookup.
+
+Every :class:`~repro.campaign.spec.RunSpec` has a canonical JSON form;
+its storage key is ``sha256(code_salt + canonical)``.  The *code
+salt* is a hash of every ``repro`` source file, so editing the
+simulator silently invalidates the whole cache — a cached result is
+only ever returned for the exact code that produced it.  (Pass an
+explicit ``salt`` to pin or namespace a store, e.g. in tests.)
+
+Records are one JSON file per run under ``root/<aa>/<hash>.json``
+(two-level fan-out, git-object style), written atomically via a
+temp-file rename so an interrupted campaign never leaves a torn
+record — which is what makes resume-after-interrupt free: the next
+run finds every completed record and executes only the delta.
+
+Failed runs are deliberately **not** cached: a crash or timeout
+should re-execute on the next attempt, not be replayed from disk.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.campaign.spec import RunSpec
+
+_SALT_CACHE: Dict[str, str] = {}
+
+
+def code_salt(package_root=None) -> str:
+    """sha256 over every ``repro`` source file (path + contents).
+
+    Deterministic across processes and machines for the same
+    checkout; changes whenever any ``repro`` module changes.  Cached
+    per process (the tree is only a couple hundred files).
+    """
+    import hashlib
+
+    if package_root is None:
+        import repro
+
+        package_root = Path(repro.__file__).resolve().parent
+    package_root = Path(package_root)
+    key = str(package_root)
+    cached = _SALT_CACHE.get(key)
+    if cached is not None:
+        return cached
+    h = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        h.update(str(path.relative_to(package_root)).encode())
+        h.update(b"\x00")
+        h.update(path.read_bytes())
+        h.update(b"\x00")
+    salt = h.hexdigest()
+    _SALT_CACHE[key] = salt
+    return salt
+
+
+class ResultStore:
+    """A directory of content-addressed run records."""
+
+    def __init__(self, root, salt: Optional[str] = None):
+        self.root = Path(root)
+        self.salt = code_salt() if salt is None else salt
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- addressing ----------------------------------------------------
+
+    def key_for(self, run: RunSpec) -> str:
+        return run.run_id(self.salt)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- record IO -----------------------------------------------------
+
+    def load(self, key: str) -> Optional[Dict]:
+        """The stored record, or ``None`` on miss (or a torn record —
+        impossible via :meth:`save`, but a corrupt file degrades to a
+        miss rather than poisoning the campaign)."""
+        path = self.path_for(key)
+        try:
+            with open(path) as fh:
+                return json.load(fh)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            return None
+
+    def save(self, key: str, record: Dict) -> Path:
+        """Atomic write: serialize to a temp file, then rename."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(record, fh, sort_keys=True, default=str)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, run) -> bool:
+        key = run if isinstance(run, str) else self.key_for(run)
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def __repr__(self) -> str:
+        return f"ResultStore({str(self.root)!r}, {len(self)} records)"

@@ -27,6 +27,17 @@ every network an experiment builds; violations land in
 ``_meta.invariant_violations`` and fail the run.  Ctrl-C at any point
 still writes a valid partial results document with
 ``_meta.interrupted = true``.
+
+This module is now a thin veneer over the campaign engine
+(:mod:`repro.campaign`): the experiments live in an
+:class:`~repro.campaign.catalog.ExperimentCatalog`
+(:func:`default_catalog`), execution is
+:func:`repro.campaign.engine.execute_jobs`, and ``main()`` expresses
+its flags as a degenerate single-cell
+:class:`~repro.campaign.spec.CampaignSpec` — the flag -> spec-field
+migration table is in docs/api.md.  Grids, repetition seeds, cached
+re-runs and statistics are campaign features: see docs/campaigns.md
+and ``repro.api.run_campaign``.
 """
 
 from __future__ import annotations
@@ -34,17 +45,25 @@ from __future__ import annotations
 import argparse
 import functools
 import json
-import multiprocessing
 import sys
 import time
 from typing import Callable, Dict, List, Tuple
 
+from repro.campaign.catalog import ExperimentCatalog, resolve_selection
+from repro.campaign.engine import ExecOptions, Job, execute_jobs
+from repro.campaign.spec import CampaignSpec
 from repro.experiments.exp_ablations import run_ablation_table
 from repro.experiments.exp_app import (
     run_fig8_batching,
     run_fig9_loss_sweep,
     run_fig10_daylong,
     run_table8,
+)
+from repro.experiments.exp_cells import (
+    ayadi_energy,
+    duty_cell,
+    fig9_cell,
+    single_hop_cell,
 )
 from repro.experiments.exp_duty import (
     run_adaptive_duty_cycle,
@@ -89,69 +108,184 @@ def _static_tables() -> Dict:
     }
 
 
-#: extra experiments registered at runtime (name -> factory taking
-#: ``quick``); merged into every experiment_registry() result.  Lets
-#: tests and downstream users run their own scenarios under the same
-#: supervision/verification machinery as the built-in registry.
-_extra_experiments: Dict[str, Callable[[bool], object]] = {}
+# ----------------------------------------------------------------------
+# the built-in catalog: one module-level factory per table/figure
+# (module-level so pool and supervised workers can import them)
+# ----------------------------------------------------------------------
+
+
+def _d(quick: bool) -> float:
+    return 25.0 if quick else 60.0
+
+
+def _app_d(quick: bool) -> float:
+    return 400.0 if quick else 1500.0
+
+
+def _hours(quick: bool) -> int:
+    return 6 if quick else 24
+
+
+def _exp_static_tables(quick: bool) -> Dict:
+    return _static_tables()
+
+
+def _exp_fig4_mss(quick: bool):
+    return run_fig4_mss_sweep(duration=_d(quick))
+
+
+def _exp_fig5_buffer(quick: bool):
+    return run_fig5_buffer_sweep(duration=_d(quick))
+
+
+def _exp_table7_stacks(quick: bool):
+    return run_table7(duration=_d(quick))
+
+
+def _exp_fig6a_one_hop(quick: bool):
+    return run_fig6_sweep(1, duration=_d(quick), ambient_frame_loss=0.03)
+
+
+def _exp_fig6bcd_three_hops(quick: bool):
+    return run_fig6_sweep(3, duration=_d(quick))
+
+
+def _exp_fig7a_cwnd(quick: bool):
+    return _strip_series(run_fig7a_cwnd_trace(duration=2 * _d(quick)))
+
+
+def _exp_eq2_validation(quick: bool):
+    return run_eq2_validation(duration=_d(quick))
+
+
+def _exp_sec72_hops(quick: bool):
+    return run_sec72_hops(duration=_d(quick))
+
+
+def _exp_fig8_batching(quick: bool):
+    return run_fig8_batching(duration=_app_d(quick))
+
+
+def _exp_fig9_loss(quick: bool):
+    return run_fig9_loss_sweep(
+        loss_rates=(0.0, 0.09, 0.15, 0.21) if quick else
+        (0.0, 0.03, 0.06, 0.09, 0.12, 0.15, 0.18, 0.21),
+        duration=_app_d(quick))
+
+
+def _exp_fig10_daylong_tcp(quick: bool):
+    return run_fig10_daylong("tcp", hours=_hours(quick),
+                             seconds_per_hour=150.0)
+
+
+def _exp_fig10_daylong_coap(quick: bool):
+    return run_fig10_daylong("coap", hours=_hours(quick),
+                             seconds_per_hour=150.0)
+
+
+def _exp_table8(quick: bool):
+    return run_table8(hours=_hours(quick), seconds_per_hour=150.0)
+
+
+def _exp_table9_fairness(quick: bool):
+    return run_table9(duration=1.5 * _d(quick))
+
+
+def _exp_appendixC_fig12(quick: bool):
+    return _strip_rtt_samples(run_fig12_sweep(duration=_d(quick)))
+
+
+def _exp_appendixC_adaptive(quick: bool):
+    return [
+        run_adaptive_duty_cycle(uplink=True, duration=_d(quick)),
+        run_adaptive_duty_cycle(uplink=False, duration=_d(quick)),
+    ]
+
+
+def _exp_ablations_lossy(quick: bool):
+    return run_ablation_table("lossy-1hop", duration=_d(quick))
+
+
+def _exp_ablations_3hop(quick: bool):
+    return run_ablation_table("hidden-3hop", duration=_d(quick))
+
+
+#: the process-wide default catalog: the paper's figures/tables plus
+#: the parameterised campaign grid cells (exp_cells), plus anything
+#: registered through the legacy shims below
+DEFAULT_CATALOG = ExperimentCatalog({
+    "static_tables": _exp_static_tables,
+    "fig4_mss": _exp_fig4_mss,
+    "fig5_buffer": _exp_fig5_buffer,
+    "table7_stacks": _exp_table7_stacks,
+    "fig6a_one_hop": _exp_fig6a_one_hop,
+    "fig6bcd_three_hops": _exp_fig6bcd_three_hops,
+    "fig7a_cwnd": _exp_fig7a_cwnd,
+    "eq2_validation": _exp_eq2_validation,
+    "sec72_hops": _exp_sec72_hops,
+    "fig8_batching": _exp_fig8_batching,
+    "fig9_loss": _exp_fig9_loss,
+    "fig10_daylong_tcp": _exp_fig10_daylong_tcp,
+    "fig10_daylong_coap": _exp_fig10_daylong_coap,
+    "table8": _exp_table8,
+    "table9_fairness": _exp_table9_fairness,
+    "appendixC_fig12": _exp_appendixC_fig12,
+    "appendixC_adaptive": _exp_appendixC_adaptive,
+    "ablations_lossy": _exp_ablations_lossy,
+    "ablations_3hop": _exp_ablations_3hop,
+    "single_hop_cell": single_hop_cell,
+    "fig9_cell": fig9_cell,
+    "duty_cell": duty_cell,
+    "ayadi_energy": ayadi_energy,
+})
+
+
+def default_catalog() -> ExperimentCatalog:
+    """The process-wide default :class:`ExperimentCatalog`.
+
+    Campaigns that must not see runtime registrations should work on
+    ``default_catalog().copy()``.
+    """
+    return DEFAULT_CATALOG
 
 
 def register_experiment(name: str,
                         factory: Callable[[bool], object]) -> None:
-    """Add ``name`` to the registry; ``factory(quick)`` produces the result.
+    """Add ``name`` to the default catalog; ``factory(quick)`` runs it.
+
+    Deprecated compatibility shim over
+    ``default_catalog().register(name, factory)`` — prefer building
+    your own :class:`~repro.campaign.catalog.ExperimentCatalog` (or a
+    ``default_catalog().copy()``) and passing it to ``run_campaign``,
+    which keeps registrations out of shared process state.
 
     Supervised (``--timeout``) runs re-import this module in a worker
     process, so factories registered from ``__main__`` or a test module
     must be importable there (module-level functions, not closures).
     """
-    _extra_experiments[name] = factory
+    DEFAULT_CATALOG.register(name, factory)
 
 
 def unregister_experiment(name: str) -> None:
-    """Remove a :func:`register_experiment` entry (test cleanup)."""
-    _extra_experiments.pop(name, None)
+    """Remove a :func:`register_experiment` entry (test cleanup).
+
+    Deprecated compatibility shim over
+    ``default_catalog().unregister(name)``.
+    """
+    DEFAULT_CATALOG.unregister(name)
 
 
 def experiment_registry(quick: bool) -> Dict[str, Callable[[], object]]:
-    """Experiment name -> runnable, scaled by ``quick``."""
-    d = 25.0 if quick else 60.0
-    app_d = 400.0 if quick else 1500.0
-    hours = 6 if quick else 24
+    """Experiment name -> runnable, scaled by ``quick``.
+
+    Compatibility view of :func:`default_catalog` (the legacy
+    zero-argument-thunk shape); campaign code uses the catalog
+    directly.
+    """
     return {
-        "static_tables": _static_tables,
-        "fig4_mss": lambda: run_fig4_mss_sweep(duration=d),
-        "fig5_buffer": lambda: run_fig5_buffer_sweep(duration=d),
-        "table7_stacks": lambda: run_table7(duration=d),
-        "fig6a_one_hop": lambda: run_fig6_sweep(
-            1, duration=d, ambient_frame_loss=0.03),
-        "fig6bcd_three_hops": lambda: run_fig6_sweep(3, duration=d),
-        "fig7a_cwnd": lambda: _strip_series(
-            run_fig7a_cwnd_trace(duration=2 * d)),
-        "eq2_validation": lambda: run_eq2_validation(duration=d),
-        "sec72_hops": lambda: run_sec72_hops(duration=d),
-        "fig8_batching": lambda: run_fig8_batching(duration=app_d),
-        "fig9_loss": lambda: run_fig9_loss_sweep(
-            loss_rates=(0.0, 0.09, 0.15, 0.21) if quick else
-            (0.0, 0.03, 0.06, 0.09, 0.12, 0.15, 0.18, 0.21),
-            duration=app_d),
-        "fig10_daylong_tcp": lambda: run_fig10_daylong(
-            "tcp", hours=hours, seconds_per_hour=150.0),
-        "fig10_daylong_coap": lambda: run_fig10_daylong(
-            "coap", hours=hours, seconds_per_hour=150.0),
-        "table8": lambda: run_table8(hours=hours, seconds_per_hour=150.0),
-        "table9_fairness": lambda: run_table9(duration=1.5 * d),
-        "appendixC_fig12": lambda: _strip_rtt_samples(
-            run_fig12_sweep(duration=d)),
-        "appendixC_adaptive": lambda: [
-            run_adaptive_duty_cycle(uplink=True, duration=d),
-            run_adaptive_duty_cycle(uplink=False, duration=d),
-        ],
-        "ablations_lossy": lambda: run_ablation_table(
-            "lossy-1hop", duration=d),
-        "ablations_3hop": lambda: run_ablation_table(
-            "hidden-3hop", duration=d),
-        **{name: functools.partial(factory, quick)
-           for name, factory in _extra_experiments.items()},
+        name: functools.partial(factory, quick)
+        for name, factory in
+        ((n, DEFAULT_CATALOG.get(n)) for n in DEFAULT_CATALOG.names())
     }
 
 
@@ -174,169 +308,15 @@ def _strip_rtt_samples(rows):
     return out
 
 
-def _run_one(
-    name: str, quick: bool, metrics: bool = False, fault_spec=None,
-    verify: bool = False,
-) -> Tuple[str, object, float, bool, object, object, object]:
-    """Run one experiment; never raises.
+def _registry_resolver(experiment: str, quick: bool, params: Dict):
+    """Engine resolver over :func:`experiment_registry`.
 
-    Module-level (not a closure) so a multiprocessing pool can dispatch
-    it: the registry holds lambdas, which cannot be pickled, so each
-    worker rebuilds the registry from ``(name, quick)`` instead.
-    Returns ``(name, result-or-error-dict, wall_seconds, ok, snaps,
-    fault_summaries, violations)`` — the ``ok`` flag is the structural
-    success signal, so callers never have to sniff result dicts for an
-    ``"error"`` key.  ``snaps`` is a list of metrics snapshots (one per
-    simulator the experiment built) when ``metrics`` is set, else
-    ``None``; auto-attach is enabled inside the worker, so it works
-    identically under a process pool.  ``fault_spec`` (a validated
-    schedule dict) is auto-injected into every network the experiment
-    builds; ``fault_summaries`` lists each armed injector's per-kind
-    injection counts (None when no spec was given).  With ``verify``,
-    every network gets a live :class:`repro.verify.InvariantEngine`;
-    ``violations`` is the flat list of violation dicts it recorded
-    (None when verification was off).
+    Reads the registry at call time (inside the worker), so tests
+    that monkeypatch ``experiment_registry`` — and factories
+    registered after import — are honoured in every execution mode.
     """
-    from repro import faults as faults_mod
-    from repro import verify as verify_mod
-    from repro.sim import metrics as metrics_mod
-
-    start = time.perf_counter()
-    if metrics:
-        metrics_mod.auto_attach(True)
-    if fault_spec is not None:
-        faults_mod.auto_inject(fault_spec)
-    if verify:
-        verify_mod.auto_verify(0.5)
-    try:
-        result = experiment_registry(quick)[name]()
-        ok = True
-    except Exception as exc:  # a broken experiment must not eat the rest
-        result = {"error": f"{type(exc).__name__}: {exc}"}
-        ok = False
-    snaps = None
-    if metrics:
-        snaps = [
-            registry.snapshot()
-            for registry, _bus in metrics_mod.drain_attached()
-        ]
-        metrics_mod.auto_attach(False)
-    fault_summaries = None
-    if fault_spec is not None:
-        fault_summaries = [
-            inj.summary() for inj in faults_mod.drain_auto()
-        ]
-        faults_mod.auto_inject(None)
-    violations = None
-    if verify:
-        violations = [
-            v.as_dict()
-            for engine in verify_mod.drain_auto()
-            for v in engine.violations
-        ]
-        verify_mod.auto_verify(None)
-    return (name, result, time.perf_counter() - start, ok, snaps,
-            fault_summaries, violations)
-
-
-def _supervised_entry(name: str, quick: bool, metrics: bool,
-                      fault_spec, verify: bool, queue) -> None:
-    """Worker-process entry point for supervised runs."""
-    queue.put(_run_one(name, quick, metrics=metrics,
-                       fault_spec=fault_spec, verify=verify))
-
-
-def _run_supervised(
-    names: List[str], quick: bool, jobs: int, timeout: float,
-    retries: int, retry_backoff: float, collect_metrics: bool,
-    fault_spec, verify: bool, progress,
-) -> Tuple[List[Tuple], bool]:
-    """Run each experiment in a watched process.
-
-    Returns ``(result_tuples, interrupted)``.  A worker that exceeds
-    ``timeout`` wall-clock seconds is terminated and recorded as a
-    failure (timeouts are not retried — a hung experiment would hang
-    again); a worker that *crashes* (dies without posting a result) is
-    retried up to ``retries`` times with exponential backoff.  Ctrl-C
-    terminates the in-flight workers and returns what completed.
-    """
-    ctx = multiprocessing.get_context("fork")
-    pending: List[Tuple[str, int, float]] = [
-        (name, 0, 0.0) for name in reversed(names)
-    ]  # (name, attempt, not_before_monotonic); stack, registry order
-    active: Dict[str, Tuple] = {}  # name -> (proc, queue, deadline, attempt)
-    done: List[Tuple] = []
-    interrupted = False
-    try:
-        while pending or active:
-            now = time.monotonic()
-            launchable = [
-                i for i, (_, _, nb) in enumerate(pending) if nb <= now
-            ]
-            while launchable and len(active) < jobs:
-                name, attempt, _ = pending.pop(launchable.pop())
-                q = ctx.Queue()
-                proc = ctx.Process(
-                    target=_supervised_entry,
-                    args=(name, quick, collect_metrics, fault_spec,
-                          verify, q),
-                )
-                proc.start()
-                active[name] = (proc, q, time.monotonic() + timeout,
-                                attempt)
-                label = f" (retry {attempt})" if attempt else ""
-                progress(f"[{name}] running{label} ...")
-            for name in list(active):
-                proc, q, deadline, attempt = active[name]
-                if not q.empty():
-                    # feeder threads can lag proc exit; drain first
-                    done.append(q.get())
-                    proc.join()
-                    del active[name]
-                    progress(f"[{name}] done in {done[-1][2]:.1f}s")
-                elif not proc.is_alive():
-                    # died without posting: one last racy-queue check
-                    try:
-                        done.append(q.get(timeout=0.5))
-                        del active[name]
-                        progress(f"[{name}] done in {done[-1][2]:.1f}s")
-                        continue
-                    except Exception:
-                        pass
-                    del active[name]
-                    if attempt < retries:
-                        backoff = retry_backoff * (2 ** attempt)
-                        progress(f"[{name}] worker crashed "
-                                 f"(exit {proc.exitcode}); retrying in "
-                                 f"{backoff:.1f}s")
-                        pending.append(
-                            (name, attempt + 1,
-                             time.monotonic() + backoff))
-                    else:
-                        done.append((name, {
-                            "error": f"worker crashed with exit code "
-                                     f"{proc.exitcode} after "
-                                     f"{attempt + 1} attempt(s)"},
-                            timeout, False, None, None, None))
-                        progress(f"[{name}] FAILED (crash)")
-                elif time.monotonic() > deadline:
-                    proc.terminate()
-                    proc.join()
-                    del active[name]
-                    done.append((name, {
-                        "error": f"watchdog timeout after {timeout:.1f}s"},
-                        timeout, False, None, None, None))
-                    progress(f"[{name}] FAILED (watchdog timeout "
-                             f"after {timeout:.1f}s)")
-            if pending or active:
-                time.sleep(0.05)
-    except KeyboardInterrupt:
-        interrupted = True
-        for name, (proc, _q, _deadline, _attempt) in active.items():
-            proc.terminate()
-            proc.join()
-            progress(f"[{name}] interrupted")
-    return done, interrupted
+    fn = experiment_registry(quick)[experiment]
+    return functools.partial(fn, **params) if params else fn
 
 
 def run_all_detailed(
@@ -379,26 +359,24 @@ def run_all_detailed(
     ``results`` hold every experiment that finished, and
     ``meta["interrupted"]`` (always present) records whether the run
     was cut short.
+
+    Execution is :func:`repro.campaign.engine.execute_jobs`; ``only``
+    goes through the shared
+    :func:`~repro.campaign.catalog.resolve_selection` rules (comma- or
+    space-separated, close-match suggestions on typos).
     """
     registry_names = list(experiment_registry(quick))
-    if only:
-        unknown = sorted(set(only) - set(registry_names))
-        if unknown:
-            raise ValueError(
-                f"unknown experiment(s): {unknown}; "
-                f"choose from {registry_names}"
-            )
+    selection = resolve_selection(only, registry_names)
     names: List[str] = [
-        name for name in registry_names if not only or name in only
+        name for name in registry_names
+        if selection is None or name in selection
     ]
-    selection = names if only else None
     collected: Dict[str, object] = {}
     wall_times: Dict[str, float] = {}
     snapshots: Dict[str, object] = {}
     fault_counts: Dict[str, object] = {}
     violations: Dict[str, object] = {}
     errors: List[str] = []
-    interrupted = False
 
     def _collect(tup) -> None:
         name, result, wall, ok, snaps, fsum, viol = tup
@@ -410,44 +388,28 @@ def run_all_detailed(
         if not ok:
             errors.append(name)
 
+    options = ExecOptions(
+        jobs=max(1, jobs),
+        collect_metrics=collect_metrics,
+        fault_spec=fault_spec,
+        verify=verify,
+        timeout=timeout,
+        retries=retries,
+        retry_backoff=retry_backoff,
+    )
     t0 = time.perf_counter()
-    if timeout is not None:
-        tuples, interrupted = _run_supervised(
-            names, quick, max(1, jobs), timeout, retries, retry_backoff,
-            collect_metrics, fault_spec, verify, progress)
-        for tup in tuples:
-            _collect(tup)
-    elif jobs > 1 and len(names) > 1:
-        worker = functools.partial(_run_one, quick=quick,
-                                   metrics=collect_metrics,
-                                   fault_spec=fault_spec, verify=verify)
-        with multiprocessing.Pool(processes=min(jobs, len(names))) as pool:
-            try:
-                for tup in pool.imap_unordered(worker, names):
-                    _collect(tup)
-                    progress(f"[{tup[0]}] done in {tup[2]:.1f}s")
-            except KeyboardInterrupt:
-                interrupted = True
-                pool.terminate()
-    else:
-        for name in names:
-            progress(f"[{name}] running ...")
-            try:
-                tup = _run_one(name, quick, metrics=collect_metrics,
-                               fault_spec=fault_spec, verify=verify)
-            except KeyboardInterrupt:
-                interrupted = True
-                progress(f"[{name}] interrupted")
-                break
-            _collect(tup)
-            progress(f"[{name}] done in {tup[2]:.1f}s")
+    _, interrupted = execute_jobs(
+        [Job.build(key=name, experiment=name, quick=quick)
+         for name in names],
+        options, _registry_resolver, progress=progress,
+        on_record=_collect)
     finished = [name for name in names if name in collected]
     results = {name: collected[name] for name in finished}
     meta = {
         "quick": quick,
         "jobs": jobs,
         #: the resolved --only selection in registry order (None = all)
-        "only": selection,
+        "only": names if selection is not None else None,
         "wall_times_s": {name: round(wall_times[name], 3)
                          for name in finished},
         "total_wall_s": round(time.perf_counter() - t0, 3),
@@ -532,12 +494,10 @@ def main(argv=None) -> int:
         return 0
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
-    only = None
-    if args.only is not None:
-        # accept both `--only a b` and `--only a,b` (and mixtures)
-        only = [n for item in args.only for n in item.split(",") if n]
-        if not only:
-            parser.error("--only given but no experiment names")
+    if args.only is not None and not [
+            n for item in args.only
+            for n in item.replace(",", " ").split()]:
+        parser.error("--only given but no experiment names")
     fault_spec = None
     if args.faults is not None:
         from repro.faults import FaultSchedule
@@ -548,13 +508,21 @@ def main(argv=None) -> int:
             parser.error(f"--faults {args.faults}: {exc}")
     if args.retries and args.timeout is None:
         parser.error("--retries requires --timeout (supervised mode)")
+    # the flags are a degenerate campaign: one cell per experiment, no
+    # grid, no repetition seeds (docs/api.md has the migration table)
     try:
-        results, meta = run_all_detailed(
-            quick=args.quick, only=only, jobs=args.jobs,
-            collect_metrics=args.metrics_out is not None,
-            fault_spec=fault_spec, verify=args.verify,
-            timeout=args.timeout, retries=args.retries,
-            retry_backoff=args.retry_backoff)
+        spec = CampaignSpec.single_cell(
+            experiments=args.only,
+            quick=args.quick,
+            faults=fault_spec,
+            jobs=args.jobs,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            retry_backoff_s=args.retry_backoff,
+            verify=args.verify,
+            metrics=args.metrics_out is not None,
+        )
+        results, meta = run_all_detailed(**spec.runner_kwargs())
     except ValueError as exc:  # e.g. a typo'd --only name
         parser.error(str(exc))
     if args.metrics_out is not None:

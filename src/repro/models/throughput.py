@@ -79,3 +79,62 @@ def multihop_bound(single_hop_bps: float, hops: int) -> float:
 def bandwidth_delay_product(bandwidth_bps: float, rtt: float) -> float:
     """BDP in bytes (§6.2 uses 125 kb/s × 0.1 s ≈ 1.6 KiB)."""
     return bandwidth_bps * rtt / 8.0
+
+
+def segment_energy_model(
+    frames: int,
+    frame_loss: float = 0.08,
+    rtt: float = 0.1,
+    window_segments: int = 4,
+    listen_power_w: float = 0.060,
+    tx_extra_power_w: float = 0.120,
+    phy: PhyParams = None,
+) -> dict:
+    """Ayadi-style energy-per-byte objective over segment size (Eq. 2).
+
+    Radio energy per delivered application byte when segments span
+    ``frames`` 6LoWPAN fragments, combining two opposing costs:
+
+    * **listen** — the radio idles/listens for the whole transfer, so
+      its cost per byte is ``P_listen * 8 / B`` with ``B`` the Eq. 2
+      goodput; larger segments amortize per-frame headers and the
+      ``1/w`` window term, so this *falls* with ``frames``;
+    * **transmit** — each frame loss (probability ``frame_loss``,
+      independent across the ``frames`` fragments) kills the whole
+      segment, ``p_seg = 1 - (1 - frame_loss)^frames``, and a lost
+      segment retransmits end to end, inflating airtime by
+      ``1/(1 - p_seg)``; this *rises* with ``frames``.
+
+    The sum has an interior optimum in ``frames`` — the segment size
+    the TCPlp paper fixes at ~5 frames, and the quantity the campaign
+    search mode recovers (``objective`` over the ``ayadi_energy``
+    catalog cell; see docs/campaigns.md).
+
+    Returns the cost breakdown; ``energy_per_byte_uj`` (microjoules
+    per delivered byte) is the scalar the search minimises.
+    """
+    if frames < 1:
+        raise ValueError("a segment spans at least one frame")
+    if not 0 <= frame_loss < 1:
+        raise ValueError("frame_loss must be in [0, 1)")
+    if listen_power_w < 0 or tx_extra_power_w < 0:
+        raise ValueError("power draws must be non-negative")
+    from repro.core.params import mss_for_frames
+
+    if phy is None:
+        phy = PhyParams()
+    mss = mss_for_frames(frames)
+    p_seg = 1.0 - (1.0 - frame_loss) ** frames
+    goodput = lln_model_goodput(mss, rtt, p_seg, window_segments)
+    listen_j = listen_power_w * 8.0 / goodput
+    airtime = frames * phy.frame_tx_time(phy.max_frame_bytes)
+    tx_j = tx_extra_power_w * airtime / (mss * max(1e-9, 1.0 - p_seg))
+    return {
+        "frames": frames,
+        "mss_bytes": mss,
+        "segment_loss": p_seg,
+        "goodput_bps": goodput,
+        "listen_uj_per_byte": listen_j * 1e6,
+        "tx_uj_per_byte": tx_j * 1e6,
+        "energy_per_byte_uj": (listen_j + tx_j) * 1e6,
+    }

@@ -1,0 +1,651 @@
+"""Campaign engine: spec validation, expansion determinism, caching,
+statistics, search, and the legacy-runner compatibility shims."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    ExperimentCatalog,
+    ResultStore,
+    RunSpec,
+    aggregate,
+    auto_metrics,
+    golden_section,
+    grid_search,
+    plan_campaign,
+    resolve_selection,
+    run_campaign,
+)
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+TOOLS = Path(__file__).resolve().parent.parent / "tools"
+
+
+# ----------------------------------------------------------------------
+# module-level factories (picklable, introspectable)
+# ----------------------------------------------------------------------
+
+
+def linear_cell(quick, x=1, scale=10, seed=0):
+    """Deterministic analytic cell: value depends on params + seed."""
+    del quick
+    return {"value": x * scale + seed, "x": x, "tag": "linear"}
+
+
+def quadratic_cell(quick, x=0.0, seed=0):
+    del quick, seed
+    return {"loss_metric": (x - 3.0) ** 2 + 1.0}
+
+
+def seedless_cell(quick, x=1):
+    del quick
+    return {"value": x}
+
+
+def failing_cell(quick, x=1, seed=0):
+    del quick, seed
+    if x == 2:
+        raise RuntimeError("x=2 always fails")
+    return {"value": x}
+
+
+def make_catalog():
+    return ExperimentCatalog({
+        "linear_cell": linear_cell,
+        "quadratic_cell": quadratic_cell,
+        "seedless_cell": seedless_cell,
+        "failing_cell": failing_cell,
+    })
+
+
+def run_quiet(spec, **kwargs):
+    return run_campaign(spec, progress=lambda *_: None, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# selection resolver (shared by CLI --only, API only=, and specs)
+# ----------------------------------------------------------------------
+
+
+class TestResolveSelection:
+    def test_none_means_everything(self):
+        assert resolve_selection(None, ["a", "b"]) is None
+
+    def test_string_comma_and_space_forms(self):
+        avail = ["a", "b", "c"]
+        assert resolve_selection("a,b", avail) == ["a", "b"]
+        assert resolve_selection("a b", avail) == ["a", "b"]
+        assert resolve_selection(["a", "b,c"], avail) == ["a", "b", "c"]
+
+    def test_first_mention_dedup(self):
+        assert resolve_selection("a,b,a", ["a", "b"]) == ["a", "b"]
+
+    def test_close_match_suggestion(self):
+        with pytest.raises(ValueError, match="did you mean 'fig9_loss'"):
+            resolve_selection("fig9_los", ["fig9_loss", "fig4_mss"])
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            resolve_selection([""], ["a"])
+
+    def test_non_string_entry_rejected(self):
+        with pytest.raises(ValueError, match="must be strings"):
+            resolve_selection([3], ["a"])
+
+
+# ----------------------------------------------------------------------
+# catalog
+# ----------------------------------------------------------------------
+
+
+class TestExperimentCatalog:
+    def test_register_and_names_preserve_order(self):
+        cat = make_catalog()
+        assert cat.names()[:2] == ["linear_cell", "quadratic_cell"]
+        assert "linear_cell" in cat and len(cat) == 4
+
+    def test_copy_is_isolated(self):
+        cat = make_catalog()
+        clone = cat.copy()
+        clone.register("extra", linear_cell)
+        assert "extra" in clone and "extra" not in cat
+
+    def test_unknown_name_suggests(self):
+        with pytest.raises(ValueError, match="did you mean"):
+            make_catalog().get("linear_cel")
+
+    def test_accepted_params_drops_quick(self):
+        accepted, var_kw = make_catalog().accepted_params("linear_cell")
+        assert accepted == {"x", "scale", "seed"}
+        assert not var_kw
+
+    def test_legacy_shims_route_to_default_catalog(self):
+        from repro.experiments import runner
+
+        def _shim_exp(quick):
+            return {"ok": quick}
+
+        runner.register_experiment("campaign_shim_exp", _shim_exp)
+        try:
+            assert "campaign_shim_exp" in runner.DEFAULT_CATALOG
+            assert "campaign_shim_exp" in runner.experiment_registry(True)
+        finally:
+            runner.unregister_experiment("campaign_shim_exp")
+        assert "campaign_shim_exp" not in runner.DEFAULT_CATALOG
+
+
+# ----------------------------------------------------------------------
+# spec validation
+# ----------------------------------------------------------------------
+
+
+class TestSpecValidation:
+    def test_unknown_top_key(self):
+        with pytest.raises(ValueError, match="unknown keys"):
+            CampaignSpec.from_dict({"experiments": ["x"], "grids": {}})
+
+    def test_grid_values_must_be_scalars(self):
+        with pytest.raises(ValueError, match="JSON scalars"):
+            CampaignSpec.from_dict(
+                {"experiments": ["x"], "grid": {"a": [[1]]}})
+
+    def test_duplicate_grid_values(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            CampaignSpec.from_dict(
+                {"experiments": ["x"], "grid": {"a": [1, 1]}})
+
+    def test_duplicate_seeds(self):
+        with pytest.raises(ValueError, match="duplicate seeds"):
+            CampaignSpec.from_dict({"experiments": ["x"],
+                                    "seeds": [0, 0]})
+
+    def test_seed_count_form(self):
+        spec = CampaignSpec.from_dict(
+            {"experiments": ["x"], "seeds": {"count": 3, "base": 5}})
+        assert spec.seeds == [5, 6, 7]
+
+    def test_retries_need_timeout(self):
+        with pytest.raises(ValueError, match="timeout"):
+            CampaignSpec.from_dict({"experiments": ["x"],
+                                    "runner": {"retries": 2}})
+
+    def test_unknown_experiment_fails_at_expand(self):
+        spec = CampaignSpec.from_dict({"experiments": ["linear_cel"]})
+        with pytest.raises(ValueError, match="did you mean"):
+            spec.expand(make_catalog())
+
+    def test_unknown_grid_axis_suggests(self):
+        spec = CampaignSpec.from_dict(
+            {"experiments": ["linear_cell"], "grid": {"scal": [1]}})
+        with pytest.raises(ValueError, match="did you mean 'scale'"):
+            spec.expand(make_catalog())
+
+    def test_seeds_against_seedless_experiment(self):
+        spec = CampaignSpec.from_dict(
+            {"experiments": ["seedless_cell"], "seeds": [0, 1]})
+        with pytest.raises(ValueError, match="does not accept a seed"):
+            spec.expand(make_catalog())
+
+    def test_objective_validation(self):
+        base = {"metric": "m", "axis": "x", "bounds": [0, 10]}
+        CampaignSpec.from_dict({"experiments": ["x"],
+                                "objective": dict(base)})
+        for patch in ({"mode": "best"}, {"bounds": [5, 5]},
+                      {"method": "newton"}, {"steps": 1},
+                      {"tolerance": 0}, {"unknown_key": 1}):
+            with pytest.raises(ValueError, match="objective"):
+                CampaignSpec.from_dict(
+                    {"experiments": ["x"],
+                     "objective": {**base, **patch}})
+
+    def test_round_trip(self):
+        doc = {"name": "n", "experiments": ["linear_cell"],
+               "grid": {"x": [1, 2]}, "seeds": [0, 1]}
+        spec = CampaignSpec.from_dict(doc)
+        again = CampaignSpec.from_dict(spec.to_dict())
+        assert spec.to_dict() == again.to_dict()
+        assert spec.digest() == again.digest()
+
+
+# ----------------------------------------------------------------------
+# expansion determinism
+# ----------------------------------------------------------------------
+
+_EXPANSION_SPEC = {
+    "experiments": ["linear_cell"],
+    "grid": {"x": [2, 1], "scale": [10, 100]},
+    "seeds": [1, 0],
+}
+
+
+class TestExpansion:
+    def test_fixed_order(self):
+        spec = CampaignSpec.from_dict(_EXPANSION_SPEC)
+        runs = spec.expand(make_catalog())
+        # grid axes in spec key order (first axis outermost), values
+        # in spec order, seeds last
+        key = [(r.params_dict["x"], r.params_dict["scale"], r.seed)
+               for r in runs]
+        assert key == [
+            (2, 10, 1), (2, 10, 0), (2, 100, 1), (2, 100, 0),
+            (1, 10, 1), (1, 10, 0), (1, 100, 1), (1, 100, 0),
+        ]
+
+    def test_seedless_experiment_collapses_to_one_rep(self):
+        spec = CampaignSpec.from_dict(
+            {"experiments": ["seedless_cell"], "grid": {"x": [2, 1]}})
+        runs = spec.expand(make_catalog())
+        assert [(r.params_dict["x"], r.seed) for r in runs] == [
+            (2, None), (1, None)]
+
+    def test_empty_experiments_means_whole_catalog(self):
+        spec = CampaignSpec.from_dict({"experiments": []})
+        runs = spec.expand(ExperimentCatalog({"seedless_cell":
+                                              seedless_cell}))
+        assert [r.experiment for r in runs] == ["seedless_cell"]
+
+    def test_run_ids_stable_across_processes(self):
+        spec = CampaignSpec.from_dict(_EXPANSION_SPEC)
+        here = [r.run_id("fixed-salt") for r in spec.expand()]
+        script = (
+            "import json, sys\n"
+            "from repro.campaign import CampaignSpec\n"
+            "spec = CampaignSpec.from_dict(json.loads(sys.argv[1]))\n"
+            "print(json.dumps([r.run_id('fixed-salt')\n"
+            "                  for r in spec.expand()]))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script, json.dumps(_EXPANSION_SPEC)],
+            capture_output=True, text=True, check=True,
+            env={**os.environ, "PYTHONPATH": str(SRC)})
+        assert json.loads(out.stdout) == here
+
+    def test_params_order_does_not_change_identity(self):
+        a = RunSpec.build("e", {"a": 1, "b": 2}, 0, True, None,
+                          {"accel": False, "fidelity": "full"})
+        b = RunSpec.build("e", {"b": 2, "a": 1}, 0, True, None,
+                          {"fidelity": "full", "accel": False})
+        assert a.run_id("s") == b.run_id("s")
+
+    def test_seed_changes_run_id_but_not_cell_id(self):
+        kernel = {"accel": False, "fidelity": "full"}
+        a = RunSpec.build("e", {"x": 1}, 0, True, None, kernel)
+        b = RunSpec.build("e", {"x": 1}, 1, True, None, kernel)
+        assert a.run_id("s") != b.run_id("s")
+        assert a.cell_id() == b.cell_id()
+
+
+# ----------------------------------------------------------------------
+# caching: hits, misses, salt invalidation, failures, resume
+# ----------------------------------------------------------------------
+
+_CACHE_SPEC = {
+    "name": "cache-test",
+    "experiments": ["linear_cell"],
+    "grid": {"x": [1, 2]},
+    "seeds": [0, 1],
+}
+
+
+class TestCaching:
+    def test_second_run_all_hits_byte_identical(self, tmp_path):
+        store = ResultStore(tmp_path / "store", salt="s1")
+        first = run_quiet(dict(_CACHE_SPEC), store=store,
+                          catalog=make_catalog())
+        assert first.execution["cache_misses"] == 4
+        assert first.execution["cache_hits"] == 0
+        second = run_quiet(dict(_CACHE_SPEC), store=store,
+                           catalog=make_catalog())
+        assert second.execution["cache_misses"] == 0
+        assert second.execution["cache_hits"] == 4
+        assert first.to_json() == second.to_json()
+
+    def test_spec_edit_executes_only_delta(self, tmp_path):
+        store = ResultStore(tmp_path / "store", salt="s1")
+        run_quiet(dict(_CACHE_SPEC), store=store, catalog=make_catalog())
+        wider = dict(_CACHE_SPEC, grid={"x": [1, 2, 3]},
+                     seeds=[0, 1, 2])
+        report = run_quiet(wider, store=store, catalog=make_catalog())
+        # 3x3 = 9 runs, 4 already cached from the narrower campaign
+        assert report.execution["cache_hits"] == 4
+        assert report.execution["cache_misses"] == 5
+
+    def test_salt_change_invalidates_everything(self, tmp_path):
+        store1 = ResultStore(tmp_path / "store", salt="s1")
+        run_quiet(dict(_CACHE_SPEC), store=store1,
+                  catalog=make_catalog())
+        store2 = ResultStore(tmp_path / "store", salt="s2")
+        report = run_quiet(dict(_CACHE_SPEC), store=store2,
+                           catalog=make_catalog())
+        assert report.execution["cache_hits"] == 0
+        assert report.execution["cache_misses"] == 4
+
+    def test_failed_runs_not_cached(self, tmp_path):
+        store = ResultStore(tmp_path / "store", salt="s1")
+        spec = {"experiments": ["failing_cell"], "grid": {"x": [1, 2]}}
+        first = run_quiet(dict(spec), store=store,
+                          catalog=make_catalog())
+        assert len(first.execution["errors"]) == 1
+        [cell] = [c for c in first.cells if c.params["x"] == 2]
+        assert cell.errors and "x=2 always fails" in cell.errors[0]
+        # the failure re-executes; the success is a hit
+        second = run_quiet(dict(spec), store=store,
+                           catalog=make_catalog())
+        assert second.execution["cache_hits"] == 1
+        assert second.execution["cache_misses"] == 1
+
+    def test_store_roundtrip_and_atomicity(self, tmp_path):
+        store = ResultStore(tmp_path / "store", salt="s")
+        run = RunSpec.build("e", {"x": 1}, 0, True, None,
+                            {"accel": False, "fidelity": "full"})
+        key = store.key_for(run)
+        assert store.load(key) is None
+        store.save(key, {"ok": True, "result": {"v": 1}})
+        assert store.load(key)["result"] == {"v": 1}
+        assert run in store and len(store) == 1
+        # corrupt record degrades to a miss, not an exception
+        store.path_for(key).write_text("{torn")
+        assert store.load(key) is None
+
+    def test_plan_campaign_reports_cache_status(self, tmp_path):
+        store = ResultStore(tmp_path / "store", salt="s1")
+        narrow = dict(_CACHE_SPEC, seeds=[0])
+        run_quiet(narrow, store=store, catalog=make_catalog())
+        plan = plan_campaign(CampaignSpec.from_dict(dict(_CACHE_SPEC)),
+                             store=store, catalog=make_catalog())
+        assert plan["runs"] == 4
+        assert plan["cached"] == 2
+        assert plan["to_execute"] == 2
+        # misses get a wall estimate from the cached runs' history
+        for entry in plan["plan"]:
+            if not entry["cached"]:
+                assert entry["wall_estimate_s"] >= 0
+
+
+# ----------------------------------------------------------------------
+# statistics
+# ----------------------------------------------------------------------
+
+
+class TestStats:
+    def test_t_interval_hand_checked(self):
+        # mean 3, stdev sqrt(2.5); t(0.95, df=4) = 2.776
+        agg = aggregate([1, 2, 3, 4, 5], confidence=0.95, method="t")
+        assert agg["n"] == 5
+        assert agg["mean"] == pytest.approx(3.0)
+        half = 2.776 * (2.5 ** 0.5) / (5 ** 0.5)
+        assert agg["ci_low"] == pytest.approx(3.0 - half, rel=1e-3)
+        assert agg["ci_high"] == pytest.approx(3.0 + half, rel=1e-3)
+
+    def test_single_sample_degenerate_interval(self):
+        agg = aggregate([7.0])
+        assert agg["ci_low"] == agg["ci_high"] == 7.0
+
+    def test_bootstrap_deterministic(self):
+        kw = dict(method="bootstrap", bootstrap_samples=200, rng_seed=42)
+        a = aggregate([1, 2, 3, 4, 5], **kw)
+        b = aggregate([1, 2, 3, 4, 5], **kw)
+        assert a == b
+        assert a["ci_low"] <= a["mean"] <= a["ci_high"]
+
+    def test_warmup_and_outlier_policy(self):
+        values = [100.0, 5.0, 6.0, 5.5, 50.0]
+        agg = aggregate(values, warmup=1, outlier_iqr=1.5)
+        assert agg["discarded_warmup"] == 1
+        assert agg["discarded_outliers"] == 1
+        assert agg["n"] == 3
+        assert agg["mean"] == pytest.approx((5.0 + 6.0 + 5.5) / 3)
+
+    def test_auto_metrics_numeric_common_fields(self):
+        results = [{"a": 1, "b": True, "c": "x", "d": 2.5},
+                   {"a": 2, "b": False, "c": "y", "d": 0.5, "e": 9}]
+        assert auto_metrics(results) == ["a", "d"]
+
+    def test_cell_aggregation_in_report(self, tmp_path):
+        report = run_quiet(dict(_CACHE_SPEC), catalog=make_catalog())
+        [cell] = [c for c in report.cells if c.params["x"] == 1]
+        agg = cell.metrics["value"]  # seeds 0,1 -> values 10, 11
+        assert agg["n"] == 2
+        assert agg["mean"] == pytest.approx(10.5)
+        assert agg["ci_low"] <= 10.5 <= agg["ci_high"]
+
+
+# ----------------------------------------------------------------------
+# report surfaces
+# ----------------------------------------------------------------------
+
+
+class TestReport:
+    def test_execution_sidecar_excluded_from_canonical(self):
+        report = run_quiet(dict(_CACHE_SPEC), catalog=make_catalog())
+        doc = report.to_dict()
+        assert "execution" not in doc
+        assert report.execution["runs"] == 4
+        assert "execution" in report.to_dict(include_execution=True)
+
+    def test_grid_table_two_axes_and_hidden_axis_clash(self):
+        spec = {"experiments": ["linear_cell"],
+                "grid": {"x": [1, 2], "scale": [10, 100]}}
+        report = run_quiet(spec, catalog=make_catalog())
+        two = report.grid_table("value", rows="x", cols="scale")
+        assert "x\\scale" in two and "200" in two
+        # collapsing to one axis hides `scale`; averaging across a
+        # hidden axis silently would lie, so it raises instead
+        with pytest.raises(ValueError, match="multiple cells"):
+            report.grid_table("value", rows="x")
+
+    def test_grid_table_single_axis(self):
+        report = run_quiet({"experiments": ["linear_cell"],
+                            "grid": {"x": [1, 2]}},
+                           catalog=make_catalog())
+        one = report.grid_table("value", rows="x")
+        assert "value" in one and "20" in one
+
+    def test_write_jsonl(self, tmp_path):
+        report = run_quiet(dict(_CACHE_SPEC), catalog=make_catalog())
+        path = tmp_path / "runs.jsonl"
+        lines = report.write_jsonl(path)
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines == len(rows) == 4 + 2  # 4 runs + 2 cells
+        kinds = [r["kind"] for r in rows]
+        assert kinds == ["run"] * 4 + ["cell"] * 2
+
+
+# ----------------------------------------------------------------------
+# search
+# ----------------------------------------------------------------------
+
+
+class TestSearch:
+    def test_golden_matches_brute_force_integer(self):
+        calls = []
+
+        def f(x):
+            calls.append(x)
+            return (x - 11) ** 2
+
+        best = golden_section(f, 0, 40, integer=True)
+        assert best == 11
+        assert len(set(calls)) < 41  # strictly fewer than brute force
+
+    def test_golden_continuous_tolerance(self):
+        best = golden_section(lambda x: (x - 3.2) ** 2, 0.0, 10.0,
+                              tolerance=1e-4)
+        assert best == pytest.approx(3.2, abs=1e-3)
+
+    def test_grid_search(self):
+        best = grid_search(lambda x: (x - 4) ** 2, 0, 10, steps=11,
+                           integer=True)
+        assert best == 4
+
+    def test_search_campaign_quadratic(self, tmp_path):
+        spec = {
+            "experiments": ["quadratic_cell"],
+            "objective": {"metric": "loss_metric", "axis": "x",
+                          "bounds": [0, 10], "integer": True},
+        }
+        store = ResultStore(tmp_path / "store", salt="s1")
+        report = run_quiet(dict(spec), store=store,
+                           catalog=make_catalog())
+        assert report.search["best"]["value"] == 3
+        probes1 = report.search["evaluations"]
+        # repeating the search is pure cache lookup
+        again = run_quiet(dict(spec), store=store,
+                          catalog=make_catalog())
+        assert again.search["evaluations"] == probes1
+        assert again.execution["search"]["executed"] == 0
+        assert again.to_json() == report.to_json()
+
+    def test_search_mode_max(self, tmp_path):
+        spec = {
+            "experiments": ["quadratic_cell"],
+            "objective": {"metric": "loss_metric", "axis": "x",
+                          "mode": "max", "bounds": [0, 10],
+                          "integer": True, "method": "grid",
+                          "steps": 11},
+        }
+        report = run_quiet(dict(spec), catalog=make_catalog())
+        # (x-3)^2 on [0,10] is maximised at the far boundary
+        assert report.search["best"]["value"] == 10
+        # probes record the raw metric, not the negated objective
+        assert report.search["best"]["objective"] == pytest.approx(50.0)
+
+    def test_ayadi_energy_optimum_is_five_frames(self, tmp_path):
+        """The paper-grounded case: golden-section over the Eq. 2
+        energy objective recovers the 5-frame segment-size optimum,
+        in fewer evaluations than the 16-point sweep."""
+        spec = {
+            "experiments": ["ayadi_energy"],
+            "objective": {"metric": "energy_per_byte_uj",
+                          "axis": "frames", "bounds": [1, 16],
+                          "integer": True},
+        }
+        report = run_quiet(dict(spec))
+        assert report.search["best"]["value"] == 5
+        assert report.search["evaluations"] < 16
+
+    def test_search_needs_single_experiment(self):
+        spec = {
+            "experiments": ["linear_cell", "seedless_cell"],
+            "objective": {"metric": "value", "axis": "x",
+                          "bounds": [0, 4], "integer": True},
+        }
+        with pytest.raises(ValueError, match="exactly one"):
+            run_quiet(spec, catalog=make_catalog())
+
+
+# ----------------------------------------------------------------------
+# the paper's Fig. 9 shape as a campaign (CI-gated loss sweep)
+# ----------------------------------------------------------------------
+
+
+class TestFig9Campaign:
+    def test_loss_sweep_three_seeds_stable_cis(self):
+        report = run_quiet({
+            "name": "fig9-loss-sweep",
+            "experiments": ["fig9_cell"],
+            "grid": {"loss": [0.0, 0.12], "duration": [200]},
+            "seeds": [0, 1, 2],
+        })
+        assert not report.execution["errors"]
+        assert len(report.cells) == 2
+        by_loss = {c.params["loss"]: c.metrics["reliability"]
+                   for c in report.cells}
+        for agg in by_loss.values():
+            assert agg["n"] == 3
+            assert agg["ci_low"] <= agg["mean"] <= agg["ci_high"]
+            assert 0.0 <= agg["mean"] <= 1.05
+        # TCP stays reliable at moderate loss (Fig. 9a's left half)
+        assert by_loss[0.0]["mean"] > 0.9
+        assert by_loss[0.12]["mean"] > 0.6
+        table = report.grid_table("reliability", rows="loss")
+        assert "0.12" in table
+
+
+# ----------------------------------------------------------------------
+# legacy-runner compatibility
+# ----------------------------------------------------------------------
+
+
+class TestLegacyShim:
+    def test_single_cell_round_trip(self):
+        spec = CampaignSpec.single_cell(
+            experiments=["fig4_mss"], quick=True, jobs=2,
+            timeout_s=30.0, retries=1, verify=True, metrics=True)
+        kwargs = spec.runner_kwargs()
+        assert kwargs == {
+            "quick": True, "only": ["fig4_mss"], "jobs": 2,
+            "collect_metrics": True, "fault_spec": None,
+            "verify": True, "timeout": 30.0, "retries": 1,
+            "retry_backoff": 2.0,
+        }
+
+    def test_grid_spec_refuses_legacy_signature(self):
+        spec = CampaignSpec.from_dict(
+            {"experiments": ["x"], "grid": {"a": [1, 2]}})
+        with pytest.raises(ValueError, match="single-cell"):
+            spec.runner_kwargs()
+
+    def test_api_facade_exports(self):
+        import repro.api as api
+
+        for name in ("CampaignSpec", "run_campaign", "load_campaign",
+                     "ResultStore", "ExperimentCatalog",
+                     "CampaignReport", "RunSpec", "default_catalog"):
+            assert name in api.__all__ and hasattr(api, name)
+
+    def test_default_catalog_superset_of_registry(self):
+        from repro.experiments.runner import (default_catalog,
+                                              experiment_registry)
+
+        cat = default_catalog()
+        for name in experiment_registry(quick=True):
+            assert name in cat
+        for cell in ("single_hop_cell", "fig9_cell", "duty_cell",
+                     "ayadi_energy"):
+            assert cell in cat
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+class TestCampaignCli:
+    def _run(self, *args, cwd):
+        return subprocess.run(
+            [sys.executable, str(TOOLS / "campaign.py"), *args],
+            capture_output=True, text=True, cwd=cwd,
+            env={**os.environ, "PYTHONPATH": str(SRC)})
+
+    def test_smoke_gate(self, tmp_path):
+        out = self._run("--smoke", "--store", str(tmp_path / "store"),
+                        cwd=tmp_path)
+        assert out.returncode == 0, out.stderr
+        assert "byte-identical report" in out.stdout
+
+    def test_dry_run_plan(self, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "experiments": ["ayadi_energy"],
+            "grid": {"frames": [3, 5]},
+        }))
+        out = self._run(str(spec_path), "--dry-run", "--store",
+                        str(tmp_path / "store"), cwd=tmp_path)
+        assert out.returncode == 0, out.stderr
+        assert "2 runs in 2 cells" in out.stdout
+        assert "2 to execute" in out.stdout
+
+    def test_invalid_spec_is_loud(self, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({"experiments": ["x"],
+                                         "grids": {}}))
+        out = self._run(str(spec_path), cwd=tmp_path)
+        assert out.returncode == 2
+        assert "unknown keys" in out.stderr

@@ -348,7 +348,8 @@ class TestBenchClassification:
              / "metrics_golden.json").read_text())
         assert set(golden) == {"one_hop_bulk", "three_hop_hidden",
                                "duty_cycled_polling", "loss_sweep",
-                               "chaos_faults", "dense_mesh"}
+                               "chaos_faults", "dense_mesh",
+                               "campaign_grid"}
         for snaps in golden.values():
             for snap in snaps:
                 assert set(snap) == {"counters", "gauges", "histograms"}
