@@ -48,7 +48,11 @@ with per-flow and aggregate goodput and Jain fairness), and
 
 **Fault injection** —
 :class:`~repro.faults.schedule.FaultSchedule` (validated JSON/dict
-fault specs) and :class:`~repro.faults.injector.FaultInjector`.
+fault specs) and :class:`~repro.faults.injector.FaultInjector` for
+in-sim faults; :class:`~repro.faults.process.ProcessFaultSchedule`
+and :func:`~repro.faults.process.run_sharded_chaos` for process-level
+chaos against the live tiers (worker kills/stalls healed
+byte-identically, abusive gateway clients — see ``tools/chaos.py``).
 
 **Self-verification** —
 :class:`~repro.sim.checkpoint.Checkpoint` /
@@ -66,9 +70,14 @@ bridges real TCP/UDP sockets on loopback to simulated motes),
 router for radio-free scale tests),
 :class:`~repro.sim.engine.RealtimePacer` /
 :class:`~repro.gateway.runtime.PacedSimRunner` (wall-clock pacing with
-slack accounting), :class:`SessionBackoff`, and the loadgen drivers
-:func:`run_tcp_loadgen` / :func:`run_udp_loadgen` returning a
-:class:`LoadgenReport` with p50/p95/p99 latency.  See
+slack accounting), :class:`SessionBackoff` (exponential retry with
+seedable full jitter), :class:`~repro.gateway.limits.GatewayLimits`
+(overload protection: admission cap, token-bucket accept rate,
+establish/idle deadlines, a global splice-byte budget and per-binding
+circuit breakers — refusals are *explicit*, counted in ``gw.shed``),
+and the loadgen drivers :func:`run_tcp_loadgen` /
+:func:`run_udp_loadgen` returning a :class:`LoadgenReport` with
+p50/p95/p99 latency plus shed/corrupt counts.  See
 ``docs/architecture.md`` §10.
 
 **Experiments** — :func:`run_experiments` runs the paper's experiment
@@ -134,9 +143,15 @@ from repro.experiments.workload import (
     SensorStream,
     jain_fairness,
 )
-from repro.faults import FaultInjector, FaultSchedule
+from repro.faults import (
+    FaultInjector,
+    FaultSchedule,
+    ProcessFaultSchedule,
+    run_sharded_chaos,
+)
 from repro.gateway import (
     Gateway,
+    GatewayLimits,
     LoadgenReport,
     MoteBinding,
     PacedSimRunner,
@@ -283,12 +298,15 @@ __all__ = [
     # faults
     "FaultSchedule",
     "FaultInjector",
+    "ProcessFaultSchedule",
+    "run_sharded_chaos",
     # self-verification
     "Checkpoint",
     "CheckpointManager",
     "InvariantEngine",
     # gateway
     "Gateway",
+    "GatewayLimits",
     "MoteBinding",
     "RealtimePacer",
     "PacedSimRunner",

@@ -12,7 +12,12 @@ uniform loss rate.  This package injects those conditions on demand:
   restart after a configurable outage (:meth:`repro.net.node.Node.crash`);
 * frame corruption/truncation at the PHY (dropped as FCS failures);
 * per-node clock drift/skew on the TCP timestamp clock
-  (:class:`~repro.faults.models.SkewedClock`).
+  (:class:`~repro.faults.models.SkewedClock`);
+* process/socket chaos against the *live tiers*
+  (:mod:`repro.faults.process`) — SIGKILL/SIGSTOP of shard workers
+  (healed by the coordinator, gated byte-identical) and abusive
+  gateway clients (resets, slow-loris, partial writes, accept storms;
+  gated on explicit shedding + recovery to quiescence).
 
 A :class:`~repro.faults.schedule.FaultSchedule` (JSON/dict spec) drives
 a :class:`~repro.faults.injector.FaultInjector`; all randomness comes
@@ -35,6 +40,12 @@ from typing import Optional
 
 from repro.faults.injector import FaultInjector
 from repro.faults.models import FrameCorruption, GilbertElliottLoss, SkewedClock
+from repro.faults.process import (
+    ProcessFaultSchedule,
+    WorkerChaos,
+    run_gateway_chaos,
+    run_sharded_chaos,
+)
 from repro.faults.schedule import FaultSchedule
 
 __all__ = [
@@ -42,7 +53,11 @@ __all__ = [
     "FaultSchedule",
     "FrameCorruption",
     "GilbertElliottLoss",
+    "ProcessFaultSchedule",
     "SkewedClock",
+    "WorkerChaos",
+    "run_gateway_chaos",
+    "run_sharded_chaos",
     "auto_inject",
     "maybe_attach",
     "drain_auto",

@@ -16,6 +16,9 @@ Layering:
 * :mod:`repro.gateway.bridge` — per-connection protocol adapters
   (:class:`TcpBridge`, :class:`UdpBridge`) and the
   :class:`SessionBackoff` retry policy.
+* :mod:`repro.gateway.limits` — the :class:`GatewayLimits` overload
+  policy (admission control, deadlines, splice budget, circuit
+  breakers) and its building blocks.
 * :mod:`repro.gateway.server` — :class:`Gateway`, :class:`MoteBinding`
   and the in-sim demo applications (:func:`install_echo`,
   :func:`install_sink`, :func:`attach_wired_host`).
@@ -25,6 +28,12 @@ Layering:
 """
 
 from repro.gateway.bridge import SessionBackoff, TcpBridge, UdpBridge
+from repro.gateway.limits import (
+    CircuitBreaker,
+    GatewayLimits,
+    SpliceBudget,
+    TokenBucket,
+)
 from repro.gateway.loadgen import LoadgenReport, run_tcp_loadgen, run_udp_loadgen
 from repro.gateway.runtime import PacedSimRunner
 from repro.gateway.server import (
@@ -36,12 +45,16 @@ from repro.gateway.server import (
 )
 
 __all__ = [
+    "CircuitBreaker",
     "Gateway",
+    "GatewayLimits",
     "LoadgenReport",
     "MoteBinding",
     "PacedSimRunner",
     "SessionBackoff",
+    "SpliceBudget",
     "TcpBridge",
+    "TokenBucket",
     "UdpBridge",
     "attach_wired_host",
     "install_echo",

@@ -20,6 +20,7 @@ import asyncio
 import sys
 
 from repro.experiments.topology import build_chain
+from repro.gateway.limits import GatewayLimits
 from repro.gateway.server import Gateway, MoteBinding, install_echo, install_sink
 
 
@@ -38,8 +39,19 @@ async def serve(args) -> int:
         MoteBinding(node_id=mote, sim_port=args.sim_port,
                     host=args.host, port=args.udp_port, kind="udp"),
     ]
+    limits = GatewayLimits(
+        max_connections=args.max_connections,
+        accept_rate=args.accept_rate,
+        establish_timeout=args.establish_timeout,
+        idle_timeout=args.idle_timeout,
+        splice_budget=args.splice_budget,
+        breaker_threshold=args.breaker_threshold,
+        backlog=args.backlog,
+        high_water=args.high_water,
+        low_water=args.low_water,
+    )
     gateway = Gateway(net, bindings, speed=args.speed,
-                      slack_budget=args.slack_budget)
+                      slack_budget=args.slack_budget, limits=limits)
     await gateway.start()
     tcp_host, tcp_port = gateway.endpoint(0)
     _, udp_port = gateway.endpoint(1)
@@ -76,6 +88,27 @@ def main(argv=None) -> int:
                         help="simulated seconds per wall second")
     parser.add_argument("--slack-budget", type=float, default=0.25)
     parser.add_argument("--stats-interval", type=float, default=5.0)
+    overload = parser.add_argument_group(
+        "overload protection (all off by default; see GatewayLimits)")
+    overload.add_argument("--max-connections", type=int, default=None,
+                          help="cap on concurrent bridged connections")
+    overload.add_argument("--accept-rate", type=float, default=None,
+                          help="token-bucket accept rate (conn/s)")
+    overload.add_argument("--establish-timeout", type=float, default=None,
+                          help="shed clients whose sim leg is not up in N s")
+    overload.add_argument("--idle-timeout", type=float, default=None,
+                          help="reap established bridges idle for N s")
+    overload.add_argument("--splice-budget", type=int, default=None,
+                          help="total client bytes buffered toward the sim")
+    overload.add_argument("--breaker-threshold", type=int, default=None,
+                          help="consecutive failures opening a binding's "
+                               "circuit breaker")
+    overload.add_argument("--backlog", type=int, default=4096,
+                          help="listener accept-queue depth")
+    overload.add_argument("--high-water", type=int, default=64 * 1024,
+                          help="per-bridge pause watermark (bytes)")
+    overload.add_argument("--low-water", type=int, default=16 * 1024,
+                          help="per-bridge resume watermark (bytes)")
     args = parser.parse_args(argv)
     try:
         return asyncio.run(serve(args))

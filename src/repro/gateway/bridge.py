@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import asyncio
 import logging
+import random
 import time as _time
 from collections import deque
 from typing import Optional
@@ -40,6 +41,14 @@ class SessionBackoff:
     ``delay(n)`` for attempt ``n`` is ``base * factor**n`` clipped to
     ``ceiling``; after ``max_attempts`` failed attempts the policy is
     ``exhausted`` and the bridge gives up on the client.
+
+    ``jitter`` spreads each delay uniformly over
+    ``[(1 - jitter) * d, d]`` so a mass disconnect doesn't synchronize
+    its retries into a thundering herd (``jitter=1.0`` is full jitter).
+    The jitter stream is seedable: a fixed ``seed`` reproduces the
+    exact delay sequence, which keeps retry schedules deterministic in
+    tests while still decorrelating independent bridges in production
+    (the gateway derives a distinct seed per bridge).
     """
 
     def __init__(
@@ -48,14 +57,20 @@ class SessionBackoff:
         factor: float = 2.0,
         ceiling: float = 8.0,
         max_attempts: int = 5,
+        jitter: float = 0.0,
+        seed: Optional[int] = None,
     ):
         if base <= 0 or factor < 1.0 or max_attempts < 1:
             raise ValueError("invalid backoff policy")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
         self.base = base
         self.factor = factor
         self.ceiling = ceiling
         self.max_attempts = max_attempts
+        self.jitter = jitter
         self.attempts = 0
+        self._rng = random.Random(seed)
 
     @property
     def exhausted(self) -> bool:
@@ -67,6 +82,8 @@ class SessionBackoff:
             raise RuntimeError("backoff exhausted")
         delay = min(self.ceiling, self.base * self.factor ** self.attempts)
         self.attempts += 1
+        if self.jitter > 0.0:
+            delay = self._rng.uniform((1.0 - self.jitter) * delay, delay)
         return delay
 
     def reset(self) -> None:
@@ -88,8 +105,14 @@ class TcpBridge(asyncio.Protocol):
         self._paused = False
         self._client_eof = False
         self._closed = False
+        self._admitted = False
+        #: the global splice budget asked us to stop reading the client
+        self.budget_paused = False
+        #: the client socket's send buffer is full (pause_writing)
+        self._write_paused = False
         self._retry_handle: Optional[asyncio.TimerHandle] = None
         self._accept_wall: Optional[float] = None
+        self.last_activity: float = 0.0
 
     # ------------------------------------------------------------------
     # asyncio (real-socket) side
@@ -97,15 +120,27 @@ class TcpBridge(asyncio.Protocol):
     def connection_made(self, transport) -> None:
         self.transport = transport
         self._accept_wall = _time.monotonic()
+        self.last_activity = self._accept_wall
+        refusal = self.gateway.admit(self.binding)
+        if refusal is not None:
+            # shed before any simulated state exists: the client sees a
+            # reset, the sim never hears about it
+            self._closed = True
+            self.gateway.count_shed(refusal, self.binding)
+            transport.abort()
+            return
+        self._admitted = True
         self.gateway.on_bridge_open(self)
         self._open_sim()
 
     def data_received(self, data: bytes) -> None:
         if self._closed:
             return
+        self.last_activity = _time.monotonic()
         self._pending.append(data)
         self._pending_bytes += len(data)
         self.gateway.count_bytes_in(len(data))
+        self.gateway.splice_acquire(self, len(data))
         self._drain_into_sim()
 
     def eof_received(self) -> bool:
@@ -116,8 +151,37 @@ class TcpBridge(asyncio.Protocol):
         return True
 
     def connection_lost(self, exc) -> None:
+        if not self._admitted:
+            return
         self._teardown(abort=True)
         self.gateway.on_bridge_closed(self)
+
+    def pause_writing(self) -> None:
+        # the client reads slower than the mote sends: stop consuming
+        # from the simulated socket, so its receive window closes and
+        # the mote sees genuine end-to-end flow control
+        self._write_paused = True
+        if self.conn is not None:
+            self.conn.on_data = None
+
+    def resume_writing(self) -> None:
+        self._write_paused = False
+        conn = self.conn
+        if conn is not None and not self._closed:
+            conn.on_data = self._on_sim_data
+            data = conn.recv()
+            if data:
+                self._on_sim_data(data)
+            self.gateway.runner.nudge()
+
+    def reap(self, reason: str) -> None:
+        """Shed an already-admitted client (deadline or budget abuse)."""
+        if self._closed:
+            return
+        self.gateway.count_shed(reason, self.binding)
+        self._teardown(abort=True)
+        if self.transport is not None and not self.transport.is_closing():
+            self.transport.abort()
 
     # ------------------------------------------------------------------
     # simulated side
@@ -144,6 +208,7 @@ class TcpBridge(asyncio.Protocol):
     def _on_sim_connect(self) -> None:
         self.established = True
         self.backoff.reset()
+        self.gateway.breaker_success(self.binding)
         if self._accept_wall is not None:
             self.gateway.observe_connect_latency(
                 _time.monotonic() - self._accept_wall
@@ -152,6 +217,7 @@ class TcpBridge(asyncio.Protocol):
         self._maybe_close_sim()
 
     def _on_sim_data(self, data: bytes) -> None:
+        self.last_activity = _time.monotonic()
         if self.transport is not None and not self.transport.is_closing():
             self.transport.write(data)
             self.gateway.count_bytes_out(len(data))
@@ -182,6 +248,7 @@ class TcpBridge(asyncio.Protocol):
                 delay, self._open_sim
             )
             return
+        self.gateway.breaker_failure(self.binding)
         self.gateway.count_error()
         _log.warning("bridge to node %s:%s failed: %s",
                      self.binding.node_id, self.binding.sim_port, err)
@@ -219,16 +286,17 @@ class TcpBridge(asyncio.Protocol):
         if conn is None or not self.established:
             self._update_backpressure()
             return
-        moved = False
+        moved = 0
         while self._pending and conn.is_open and conn.send_buf.free > 0:
             chunk = self._pending.popleft()
             accepted = conn.send(chunk)
             self._pending_bytes -= accepted
-            moved = True
+            moved += accepted
             if accepted < len(chunk):
                 self._pending.appendleft(chunk[accepted:])
                 break
         if moved:
+            self.gateway.splice_release(self, moved)
             self.gateway.runner.nudge()
         self._update_backpressure()
         self._maybe_close_sim()
@@ -236,10 +304,13 @@ class TcpBridge(asyncio.Protocol):
     def _update_backpressure(self) -> None:
         if self.transport is None or self.transport.is_closing():
             return
-        if not self._paused and self._pending_bytes > HIGH_WATER:
+        limits = self.gateway.limits
+        if not self._paused and (self.budget_paused
+                                 or self._pending_bytes > limits.high_water):
             self._paused = True
             self.transport.pause_reading()
-        elif self._paused and self._pending_bytes < LOW_WATER:
+        elif (self._paused and not self.budget_paused
+                and self._pending_bytes < limits.low_water):
             self._paused = False
             self.transport.resume_reading()
 
@@ -256,6 +327,10 @@ class TcpBridge(asyncio.Protocol):
         if self._retry_handle is not None:
             self._retry_handle.cancel()
             self._retry_handle = None
+        if self._pending_bytes:
+            self.gateway.splice_release(self, self._pending_bytes)
+            self._pending.clear()
+            self._pending_bytes = 0
         conn, self.conn = self.conn, None
         if conn is not None:
             conn.on_connect = None

@@ -33,6 +33,11 @@ class LoadgenReport:
     min: float = 0.0
     max: float = 0.0
     mean: float = 0.0
+    #: connections the server refused or reset before serving any data —
+    #: explicit load shedding, reported separately from real errors
+    shed: int = 0
+    #: exchanges that completed with payload bytes that didn't match
+    corrupt: int = 0
     error_detail: List[str] = field(default_factory=list)
 
     @classmethod
@@ -44,6 +49,8 @@ class LoadgenReport:
         requests: int,
         concurrency: int,
         wall_seconds: float,
+        shed: int = 0,
+        corrupt: int = 0,
     ) -> "LoadgenReport":
         report = cls(
             mode=mode,
@@ -52,6 +59,8 @@ class LoadgenReport:
             errors=len(errors),
             concurrency=concurrency,
             wall_seconds=wall_seconds,
+            shed=shed,
+            corrupt=corrupt,
             error_detail=sorted(set(errors))[:10],
         )
         if latencies:
@@ -69,6 +78,8 @@ class LoadgenReport:
             "requests": self.requests,
             "completed": self.completed,
             "errors": self.errors,
+            "shed": self.shed,
+            "corrupt": self.corrupt,
             "concurrency": self.concurrency,
             "wall_seconds": round(self.wall_seconds, 6),
             "latency": {
@@ -85,7 +96,8 @@ class LoadgenReport:
     def summary(self) -> str:
         return (
             f"{self.mode}: {self.completed}/{self.requests} ok "
-            f"({self.errors} errors, concurrency {self.concurrency}) "
+            f"({self.errors} errors, {self.shed} shed, "
+            f"concurrency {self.concurrency}) "
             f"p50={self.p50 * 1000:.1f}ms p95={self.p95 * 1000:.1f}ms "
             f"p99={self.p99 * 1000:.1f}ms in {self.wall_seconds:.2f}s"
         )
@@ -112,8 +124,15 @@ async def run_tcp_loadgen(
     sem = asyncio.Semaphore(concurrency or connections)
     latencies: List[float] = []
     errors: List[str] = []
+    shed = 0
+    corrupt = 0
+    #: a reset/refusal before any echoed byte arrives is the server
+    #: shedding load, not a data-path failure
+    _SHED_ERRORS = (ConnectionResetError, ConnectionRefusedError,
+                    ConnectionAbortedError, BrokenPipeError)
 
     async def one(i: int) -> None:
+        nonlocal shed, corrupt
         if ramp_seconds > 0 and connections > 1:
             await asyncio.sleep(ramp_seconds * i / connections)
         async with sem:
@@ -125,10 +144,24 @@ async def run_tcp_loadgen(
                 )
                 writer.write(payload)
                 await writer.drain()
-                await asyncio.wait_for(
+                echoed = await asyncio.wait_for(
                     reader.readexactly(len(payload)), timeout
                 )
-                latencies.append(_time.monotonic() - t0)
+                if echoed != payload:
+                    corrupt += 1
+                    errors.append("PayloadMismatch: echoed bytes differ")
+                else:
+                    latencies.append(_time.monotonic() - t0)
+            except _SHED_ERRORS:
+                shed += 1
+            except asyncio.IncompleteReadError as exc:
+                if exc.partial:
+                    # some echoed bytes arrived, then the stream died:
+                    # that is a corrupted exchange, not clean shedding
+                    corrupt += 1
+                    errors.append(f"{type(exc).__name__}: {exc}")
+                else:
+                    shed += 1
             except Exception as exc:
                 errors.append(f"{type(exc).__name__}: {exc}")
             finally:
@@ -144,6 +177,7 @@ async def run_tcp_loadgen(
     return LoadgenReport.from_latencies(
         "tcp-echo", latencies, errors, connections,
         concurrency or connections, _time.monotonic() - wall0,
+        shed=shed, corrupt=corrupt,
     )
 
 

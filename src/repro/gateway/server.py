@@ -22,13 +22,26 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import time as _time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.params import TcpParams
 from repro.core.simplified import tcplp_params
 from repro.core.socket_api import TcpStack
-from repro.gateway.bridge import SessionBackoff, TcpBridge, UdpBridge
+from repro.gateway.bridge import (
+    HIGH_WATER,
+    LOW_WATER,
+    SessionBackoff,
+    TcpBridge,
+    UdpBridge,
+)
+from repro.gateway.limits import (
+    CircuitBreaker,
+    GatewayLimits,
+    SpliceBudget,
+    TokenBucket,
+)
 from repro.gateway.runtime import PacedSimRunner
 from repro.net.udp import UdpStack
 from repro.net.wired import CloudHost
@@ -70,12 +83,30 @@ class Gateway:
         params: Optional[TcpParams] = None,
         backoff: Optional[dict] = None,
         udp_timeout: float = 30.0,
+        limits: Optional[GatewayLimits] = None,
     ):
         self.net = net
         self.sim = net.sim
         self.bindings = list(bindings)
         self.udp_timeout = udp_timeout
-        self._backoff_policy = dict(backoff or {})
+        self.limits = limits or GatewayLimits()
+        # jitter by default: retry storms across bridges decorrelate,
+        # while an explicit policy (tests) stays exactly reproducible
+        self._backoff_policy = dict(
+            backoff if backoff is not None else {"jitter": 1.0}
+        )
+        self._backoff_seq = itertools.count()
+        self._accept_bucket: Optional[TokenBucket] = None
+        if self.limits.accept_rate is not None:
+            self._accept_bucket = TokenBucket(
+                self.limits.accept_rate, self.limits.accept_burst
+            )
+        self._splice: Optional[SpliceBudget] = None
+        if self.limits.splice_budget is not None:
+            self._splice = SpliceBudget(self.limits.splice_budget)
+        self._splice_paused: set = set()
+        self._breakers: Dict[int, CircuitBreaker] = {}
+        self._reaper_task: Optional[asyncio.Task] = None
         # the pacer and the gateway both export through the registry;
         # attach one if the simulation was built without observability
         if self.sim.metrics is None:
@@ -112,6 +143,8 @@ class Gateway:
         self._c_bytes_out = m.counter("gw.bytes_out")
         self._h_connect = m.histogram("gw.connect_seconds")
         self._h_udp_rtt = m.histogram("gw.udp_rtt_seconds")
+        self._g_splice = m.gauge("gw.splice_buffered")
+        self._c_splice_pauses = m.counter("gw.splice_pauses")
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -125,7 +158,8 @@ class Gateway:
             if binding.kind == "tcp":
                 server = await loop.create_server(
                     lambda b=binding: TcpBridge(self, b),
-                    binding.host, binding.port, backlog=4096,
+                    binding.host, binding.port,
+                    backlog=self.limits.backlog,
                 )
                 binding.bound_port = server.sockets[0].getsockname()[1]
                 self._servers.append(server)
@@ -142,10 +176,19 @@ class Gateway:
                 )
                 binding.bound_port = transport.get_extra_info("sockname")[1]
                 self._udp_bridges.extend(bridge_holder)
+        if self.limits.needs_reaper and self._reaper_task is None:
+            self._reaper_task = loop.create_task(self._reap_loop())
         return self
 
     async def aclose(self) -> None:
         """Close every real socket, tear down bridges, stop pacing."""
+        if self._reaper_task is not None:
+            self._reaper_task.cancel()
+            try:
+                await self._reaper_task
+            except asyncio.CancelledError:
+                pass
+            self._reaper_task = None
         for server in self._servers:
             server.close()
         for server in self._servers:
@@ -169,10 +212,110 @@ class Gateway:
         return binding.host, binding.bound_port
 
     # ------------------------------------------------------------------
+    # overload protection
+    # ------------------------------------------------------------------
+    def admit(self, binding: MoteBinding) -> Optional[str]:
+        """Admission decision for a fresh client; the shed reason or None.
+
+        Checked in cost order — capacity and accept rate are cheap
+        local state; the breaker consumes its single half-open probe
+        slot only if the client would otherwise be admitted.
+        """
+        limits = self.limits
+        if (limits.max_connections is not None
+                and len(self._bridges) >= limits.max_connections):
+            return "capacity"
+        if self._accept_bucket is not None and not self._accept_bucket.try_take():
+            return "rate"
+        breaker = self._breaker(binding)
+        if breaker is not None and not breaker.allow():
+            return "breaker"
+        return None
+
+    def count_shed(self, reason: str, binding: MoteBinding) -> None:
+        self.sim.metrics.counter("gw.shed", reason=reason).inc()
+        bus = self.sim.trace_bus
+        if bus is not None:
+            bus.emit("gw", binding.node_id, "shed",
+                     reason=reason, port=binding.sim_port)
+
+    def _breaker(self, binding: MoteBinding) -> Optional[CircuitBreaker]:
+        if self.limits.breaker_threshold is None:
+            return None
+        breaker = self._breakers.get(id(binding))
+        if breaker is None:
+            breaker = CircuitBreaker(self.limits.breaker_threshold,
+                                     self.limits.breaker_cooldown)
+            self._breakers[id(binding)] = breaker
+        return breaker
+
+    def breaker_success(self, binding: MoteBinding) -> None:
+        breaker = self._breaker(binding)
+        if breaker is not None:
+            breaker.record_success()
+
+    def breaker_failure(self, binding: MoteBinding) -> None:
+        breaker = self._breaker(binding)
+        if breaker is not None:
+            breaker.record_failure()
+
+    def splice_acquire(self, bridge: TcpBridge, n: int) -> None:
+        """Account ``n`` client bytes a bridge just buffered."""
+        if self._splice is None:
+            return
+        within = self._splice.acquire(n)
+        self._g_splice.set(self._splice.used)
+        if not within and bridge not in self._splice_paused:
+            self._splice_paused.add(bridge)
+            bridge.budget_paused = True
+            self._c_splice_pauses.inc()
+            bridge._update_backpressure()
+
+    def splice_release(self, bridge: TcpBridge, n: int) -> None:
+        """Return ``n`` bytes to the budget (sim accepted them, or the
+        bridge died); resume paused bridges once comfortably under."""
+        if self._splice is None or n <= 0:
+            return
+        self._splice.release(n)
+        self._g_splice.set(self._splice.used)
+        if self._splice_paused and self._splice.should_resume:
+            paused, self._splice_paused = self._splice_paused, set()
+            for other in paused:
+                other.budget_paused = False
+                other._update_backpressure()
+
+    def splice_used(self) -> int:
+        """Bytes currently pinned against the splice budget (0 if off)."""
+        return 0 if self._splice is None else self._splice.used
+
+    async def _reap_loop(self) -> None:
+        """Shed bridges that blew their establishment/idle deadline."""
+        limits = self.limits
+        while True:
+            await asyncio.sleep(limits.reap_interval)
+            now = _time.monotonic()
+            for bridge in list(self._bridges):
+                if bridge._closed:
+                    continue
+                if not bridge.established:
+                    if (limits.establish_timeout is not None
+                            and now - bridge._accept_wall
+                            > limits.establish_timeout):
+                        bridge.reap("establish_timeout")
+                elif (limits.idle_timeout is not None
+                        and now - bridge.last_activity > limits.idle_timeout):
+                    bridge.reap("idle")
+
+    # ------------------------------------------------------------------
     # services for the bridges
     # ------------------------------------------------------------------
     def make_backoff(self) -> SessionBackoff:
-        return SessionBackoff(**self._backoff_policy)
+        policy = dict(self._backoff_policy)
+        if policy.get("jitter") and "seed" not in policy:
+            # distinct deterministic stream per bridge: bridges
+            # decorrelate from each other, runs stay reproducible
+            policy["seed"] = next(self._backoff_seq)
+        return SessionBackoff(**policy)
 
     def sim_connect(self, binding: MoteBinding):
         """Open the simulated TCP leg toward a binding's mote."""
@@ -201,6 +344,7 @@ class Gateway:
 
     def on_bridge_closed(self, bridge: TcpBridge) -> None:
         self._bridges.discard(bridge)
+        self._splice_paused.discard(bridge)
         self._g_active.set(len(self._bridges))
 
     def count_bytes_in(self, n: int) -> None:
@@ -224,6 +368,10 @@ class Gateway:
     # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------
+    def active_bridges(self) -> int:
+        """Live bridged TCP connections (quiescence checks)."""
+        return len(self._bridges)
+
     def slack_stats(self) -> dict:
         """The pacer's slack summary (see RealtimePacer.stats)."""
         return self.runner.pacer.stats()
@@ -284,11 +432,20 @@ def _udp_stack_for(net, node_id: int) -> UdpStack:
 
 class _TcpEchoApp:
     """Echo server on a simulated node: every byte received is sent
-    back, buffering what the send window can't take yet."""
+    back, buffering what the send window can't take yet.
 
-    def __init__(self, stack: TcpStack, port: int):
+    The per-session backlog is bounded: past ``high_water`` buffered
+    bytes the session stops consuming, so the receive window closes
+    toward the sender instead of the backlog growing without bound
+    (the same watermark discipline :class:`TcpBridge` applies to real
+    clients)."""
+
+    def __init__(self, stack: TcpStack, port: int,
+                 high_water: int = HIGH_WATER, low_water: int = LOW_WATER):
         self.bytes_echoed = 0
         self.accepted = 0
+        self.high_water = high_water
+        self.low_water = low_water
         stack.listen(port, self._on_accept)
 
     def _on_accept(self, conn) -> None:
@@ -305,6 +462,7 @@ class _EchoSession:
         self.conn = conn
         self.backlog = bytearray()
         self.peer_done = False
+        self.recv_paused = False
 
     def on_data(self, data: bytes) -> None:
         self.backlog.extend(data)
@@ -327,23 +485,69 @@ class _EchoSession:
             del self.backlog[:accepted]
         if self.peer_done and not self.backlog and conn.is_open:
             conn.close()
+            return
+        self._update_recv_pause()
+
+    def _update_recv_pause(self) -> None:
+        # pause by detaching on_data: received bytes then sit in the
+        # connection's receive buffer and the advertised window closes
+        conn = self.conn
+        if not self.recv_paused and len(self.backlog) >= self.app.high_water:
+            self.recv_paused = True
+            conn.on_data = None
+        elif self.recv_paused and len(self.backlog) < self.app.low_water:
+            self.recv_paused = False
+            conn.on_data = self.on_data
+            data = conn.recv()
+            if data:
+                self.on_data(data)
 
 
 class _TcpSinkApp:
-    """Byte sink on a simulated node (bulk-upload target)."""
+    """Byte sink on a simulated node (bulk-upload target).
+
+    :meth:`pause` stops consuming — buffered bytes close the receive
+    window toward the uploader (a zero-window mote, from the gateway's
+    point of view) until :meth:`resume`."""
 
     def __init__(self, stack: TcpStack, port: int):
         self.bytes = 0
         self.accepted = 0
+        self.paused = False
+        self._conns: List = []
+        self._peer_done: set = set()
         stack.listen(port, self._on_accept)
 
     def _on_accept(self, conn) -> None:
         self.accepted += 1
-        conn.on_data = self._on_data
-        conn.on_peer_close = conn.close
+        self._conns.append(conn)
+        conn.on_data = None if self.paused else self._on_data
+        conn.on_peer_close = lambda c=conn: self._on_peer_close(c)
 
     def _on_data(self, data: bytes) -> None:
         self.bytes += len(data)
+
+    def _on_peer_close(self, conn) -> None:
+        # while paused, unread bytes are still in the receive buffer;
+        # defer the close so resume() can drain and count them
+        self._peer_done.add(id(conn))
+        if not self.paused and conn.is_open:
+            conn.close()
+
+    def pause(self) -> None:
+        self.paused = True
+        for conn in self._conns:
+            conn.on_data = None
+
+    def resume(self) -> None:
+        self.paused = False
+        for conn in self._conns:
+            conn.on_data = self._on_data
+            data = conn.recv()
+            if data:
+                self._on_data(data)
+            if id(conn) in self._peer_done and conn.is_open:
+                conn.close()
 
 
 class _UdpEchoApp:
@@ -364,15 +568,18 @@ class _UdpEchoApp:
 
 
 def install_echo(net, node_id: int, port: int, kind: str = "tcp",
-                 params: Optional[TcpParams] = None):
+                 params: Optional[TcpParams] = None,
+                 high_water: int = HIGH_WATER, low_water: int = LOW_WATER):
     """Run an echo application on a simulated node.
 
     ``kind="tcp"`` echoes a byte stream (the gateway bulk-transfer
     target); ``kind="udp"`` echoes datagrams (the CoAP-exchange-shaped
     target).  Returns the app object (it exposes counters).
+    ``high_water``/``low_water`` bound the TCP echo backlog (tcp only).
     """
     if kind == "tcp":
-        return _TcpEchoApp(_tcp_stack_for(net, node_id, params), port)
+        return _TcpEchoApp(_tcp_stack_for(net, node_id, params), port,
+                           high_water=high_water, low_water=low_water)
     if kind == "udp":
         return _UdpEchoApp(net, node_id, port)
     raise ValueError(f"unknown echo kind {kind!r}")

@@ -3,14 +3,17 @@
 Builds a small mesh with a cloud uplink, starts a real gateway on
 loopback, and then — over ordinary OS sockets — (1) completes a bulk
 echo transfer against a mote inside the mesh, (2) fires a concurrent
-loadgen burst against a wired host behind the border router, and
-(3) runs a datagram exchange against the mote.  The latency-percentile
-report, the pacer's slack summary, and the full metrics snapshot are
-written to a JSON artifact.
+loadgen burst against a wired host behind the border router,
+(3) runs a datagram exchange against the mote, and (4) fires an
+overload storm well past the gateway's connection cap — every excess
+client must be *explicitly* shed (counted in ``gw.shed``) while every
+admitted one is served intact with bounded latency.  The
+latency-percentile report, the pacer's slack summary, and the full
+metrics snapshot are written to a JSON artifact.
 
 Exit status is non-zero on any failed exchange, a corrupted bulk echo,
-or any real-time slack violation — the pacing contract is a gate, not
-a suggestion.
+silent (uncounted) shedding, or any real-time slack violation — the
+pacing and shedding contracts are gates, not suggestions.
 
 Run it directly::
 
@@ -27,6 +30,7 @@ import time as _time
 from typing import Optional
 
 from repro.experiments.topology import build_chain
+from repro.gateway.limits import GatewayLimits
 from repro.gateway.loadgen import run_tcp_loadgen, run_udp_loadgen
 from repro.gateway.server import (
     Gateway,
@@ -76,6 +80,8 @@ async def run_smoke(
     udp_exchanges: int = 20,
     timeout: float = 120.0,
     seed: int = 1,
+    overload_connections: int = 600,
+    max_connections: int = 256,
 ) -> dict:
     """Run the full smoke sequence; returns the artifact dict."""
     net = build_chain(1, seed=seed, accel=True)
@@ -85,6 +91,16 @@ async def run_smoke(
     attach_wired_host(net, WIRED_HOST_ID)
     install_echo(net, WIRED_HOST_ID, 7)
 
+    # overload protection on: the connection cap sits above the normal
+    # burst (phases 1-3 are unaffected) and below the overload storm,
+    # so phase 4 must shed the excess *explicitly* while serving every
+    # admitted client intact
+    limits = GatewayLimits(
+        max_connections=max_connections,
+        establish_timeout=timeout,
+        idle_timeout=timeout,
+        splice_budget=16 * 2 ** 20,
+    )
     gateway = Gateway(
         net,
         bindings=[
@@ -94,6 +110,7 @@ async def run_smoke(
         ],
         speed=speed,
         slack_budget=slack_budget,
+        limits=limits,
     )
     await gateway.start()
     try:
@@ -108,16 +125,32 @@ async def run_smoke(
         udp = await run_udp_loadgen(
             host, udp_port, connections=udp_exchanges, timeout=timeout,
         )
+        overload = await run_tcp_loadgen(
+            host, burst_port, connections=overload_connections,
+            timeout=timeout,
+        )
         slack = gateway.slack_stats()
         metrics = gateway.sim.metrics.snapshot()
     finally:
         await gateway.aclose()
 
+    shed_metric = sum(v for k, v in metrics.get("counters", {}).items()
+                      if k.startswith("gw.shed"))
+    overload_ok = (
+        overload.corrupt == 0
+        and overload.errors == 0
+        and overload.completed + overload.shed == overload_connections
+        and overload.completed > 0
+        and overload.shed > 0
+        and shed_metric >= overload.shed
+        and overload.p99 <= timeout
+    )
     ok = (
         bulk["intact"]
         and burst.errors == 0
         and burst.completed == connections
         and udp.errors == 0
+        and overload_ok
         and slack["violations"] == 0
     )
     artifact = {
@@ -125,6 +158,8 @@ async def run_smoke(
         "bulk": bulk,
         "loadgen": burst.as_dict(),
         "udp": udp.as_dict(),
+        "overload": dict(overload.as_dict(), ok=overload_ok,
+                         shed_metric=shed_metric),
         "slack": slack,
         "metrics": metrics,
         "config": {
@@ -133,6 +168,8 @@ async def run_smoke(
             "speed": speed,
             "slack_budget": slack_budget,
             "seed": seed,
+            "overload_connections": overload_connections,
+            "max_connections": max_connections,
         },
     }
     if out:
@@ -152,6 +189,10 @@ def main(argv=None) -> int:
     parser.add_argument("--udp-exchanges", type=int, default=20)
     parser.add_argument("--timeout", type=float, default=120.0)
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--overload-connections", type=int, default=600,
+                        help="storm size for the shedding phase")
+    parser.add_argument("--max-connections", type=int, default=256,
+                        help="gateway connection cap during the smoke")
     args = parser.parse_args(argv)
 
     artifact = asyncio.run(run_smoke(
@@ -163,6 +204,8 @@ def main(argv=None) -> int:
         udp_exchanges=args.udp_exchanges,
         timeout=args.timeout,
         seed=args.seed,
+        overload_connections=args.overload_connections,
+        max_connections=args.max_connections,
     ))
     bulk, slack = artifact["bulk"], artifact["slack"]
     print(f"bulk: {bulk['bytes']} bytes echoed intact={bulk['intact']} "
@@ -172,6 +215,12 @@ def main(argv=None) -> int:
           f"/{artifact['loadgen']['requests']} ok "
           f"p50={lat['p50'] * 1000:.1f}ms p95={lat['p95'] * 1000:.1f}ms "
           f"p99={lat['p99'] * 1000:.1f}ms")
+    over = artifact["overload"]
+    olat = over["latency"]
+    print(f"overload: {over['completed']}/{over['requests']} served, "
+          f"{over['shed']} shed ({over['shed_metric']} counted server-side), "
+          f"{over['corrupt']} corrupt, p99={olat['p99'] * 1000:.1f}ms "
+          f"ok={over['ok']}")
     print(f"slack: max={slack['max_slack']:.3f}s "
           f"violations={slack['violations']} "
           f"(budget {slack['slack_budget']}s, speed {slack['speed']}x)")

@@ -124,6 +124,15 @@ class ShardError(Exception):
     """A sharded run was mis-configured or diverged from its contract."""
 
 
+class ShardWorkerDeath(ShardError):
+    """A worker process died or stopped answering the window protocol.
+
+    The coordinator's self-healing path (``heal=True``) catches exactly
+    this — a crash or hang is recoverable by respawn-and-replay, while
+    a worker *error* (a deterministic exception inside the replica)
+    would simply reproduce on replay and stays fatal."""
+
+
 # ----------------------------------------------------------------------
 # recipe
 # ----------------------------------------------------------------------
@@ -880,10 +889,28 @@ class ShardedSimulator:
     Presents the phase surface the workload engine needs —
     ``run(until)``, ``start_metering()``, ``finalize(duration)`` — so
     :func:`run_sharded` can mirror ``FlowSet.measure`` exactly.
+
+    With ``heal=True`` (the default) the coordinator survives worker
+    death: a worker that exits or stops answering within
+    ``worker_timeout`` seconds is killed, respawned from its heal base
+    (the build payload, or the checkpoint refreshed every
+    ``heal_every`` barriers), and fast-forwarded by replaying the
+    coordinator's command journal — every window command plus the
+    ghost frames it delivered.  Workers are deterministic replicas, so
+    the respawned worker rejoins the next lock-step window in a state
+    byte-identical to the one lost, and the merged results are
+    identical to an unkilled run (pinned by the process-chaos tests).
+    Each recovery is recorded in :attr:`respawns`.  ``barrier_hook``
+    is called as ``hook(self, window_index, barrier_time)`` before
+    every window — the process-chaos injection point.
     """
 
     def __init__(self, recipe: ShardRecipe, shards: int = 1,
-                 _restore: Optional[Dict[str, Any]] = None):
+                 _restore: Optional[Dict[str, Any]] = None,
+                 heal: bool = True,
+                 heal_every: Optional[int] = None,
+                 worker_timeout: Optional[float] = None,
+                 barrier_hook=None):
         recipe.validate()
         self.recipe = recipe
         self.shards = shards
@@ -898,6 +925,24 @@ class ShardedSimulator:
         #: (commit time, air_start, sender, frame, air_time, targets)
         self._ghost_out: List[Tuple[float, float, int, object, float,
                                     Tuple[int, ...]]] = []
+        #: self-healing: respawn a dead/hung worker from its last heal
+        #: base (initial payload, or a checkpoint refreshed every
+        #: ``heal_every`` barriers) and replay the command journal —
+        #: workers are deterministic, so the replayed replica is
+        #: byte-identical to the lost one
+        self._heal = heal
+        self._heal_every = heal_every
+        self._worker_timeout = worker_timeout or _WORKER_TIMEOUT
+        #: called as hook(self, window_index, t) at the top of every
+        #: lock-stepped window — the process-chaos injection point
+        self.barrier_hook = barrier_hook
+        #: completed barriers (the chaos schedules' window index)
+        self.windows = 0
+        #: command journal since the last heal base: ("window", cmd, t,
+        #: per_shard_ghosts) and ("meter",) entries in execution order
+        self._journal: List[Tuple] = []
+        #: one dict per respawn: shard, reason, windows_replayed, wall_s
+        self.respawns: List[Dict[str, Any]] = []
         if _restore is None:
             positions = recipe_positions(recipe)
             comm_range = recipe.builder_kwargs.get("comm_range", 10.0)
@@ -922,6 +967,10 @@ class ShardedSimulator:
             ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX fallback
             ctx = multiprocessing.get_context("spawn")
+        self._ctx = ctx
+        #: respawn base: the payload each worker can be rebuilt from
+        #: (the fresh/restore payload initially; a heal checkpoint later)
+        self._base_payloads = list(payloads)
         self._conns = []
         self._procs = []
         try:
@@ -945,14 +994,16 @@ class ShardedSimulator:
     # ------------------------------------------------------------------
     def _recv(self, k: int, expect: str):
         conn = self._conns[k]
-        if not conn.poll(_WORKER_TIMEOUT):
-            raise ShardError(f"shard {k}: no reply within "
-                             f"{_WORKER_TIMEOUT:.0f}s (deadlock or death)")
         try:
+            if not conn.poll(self._worker_timeout):
+                raise ShardWorkerDeath(
+                    f"shard {k}: no reply within "
+                    f"{self._worker_timeout:.0f}s (deadlock or death)")
             msg = conn.recv()
-        except EOFError:
-            raise ShardError(f"shard {k}: worker died "
-                             f"(exitcode={self._procs[k].exitcode})")
+        except (EOFError, OSError):
+            raise ShardWorkerDeath(
+                f"shard {k}: worker died "
+                f"(exitcode={self._procs[k].exitcode})")
         if msg[0] == "error":
             raise ShardError(f"shard {k} failed:\n{msg[1]}")
         if msg[0] != expect:
@@ -960,8 +1011,75 @@ class ShardedSimulator:
                              f"got {msg[0]!r}")
         return msg
 
+    def _send(self, k: int, msg: Tuple) -> bool:
+        """Best-effort send; False if the pipe is already dead (the
+        failure surfaces — and heals — at the matching receive)."""
+        try:
+            self._conns[k].send(msg)
+            return True
+        except (OSError, ValueError, BrokenPipeError):
+            return False
+
+    def _respawn(self, k: int, reason: str) -> None:
+        """Replace a dead worker: rebuild from the heal base, replay
+        the journal.  Workers are deterministic replicas, so the
+        replayed worker reaches a byte-identical state; replies from
+        replayed windows are discarded (their commits were already
+        folded into ``_ghost_out`` at the original barriers)."""
+        t0 = time.perf_counter()
+        proc = self._procs[k]
+        try:
+            proc.kill()  # SIGKILL: also fells SIGSTOPped (hung) workers
+        except (OSError, AttributeError):  # pragma: no cover
+            pass
+        proc.join(timeout=10)
+        try:
+            self._conns[k].close()
+        except OSError:  # pragma: no cover
+            pass
+        parent, child = self._ctx.Pipe(duplex=True)
+        newproc = self._ctx.Process(target=_worker_main,
+                                    args=(child, self._base_payloads[k]),
+                                    daemon=True)
+        newproc.start()
+        child.close()
+        self._conns[k] = parent
+        self._procs[k] = newproc
+        self._recv(k, "ready")
+        replayed = 0
+        for entry in self._journal:
+            if entry[0] == "meter":
+                self._conns[k].send(("meter",))
+                self._recv(k, "ok")
+            else:
+                _, cmd, t, per_shard = entry
+                self._conns[k].send((cmd, t, per_shard[k]))
+                self._recv(k, "window")
+                replayed += 1
+        self.respawns.append({
+            "shard": k,
+            "reason": reason,
+            "windows_replayed": replayed,
+            "wall_s": round(time.perf_counter() - t0, 3),
+        })
+
+    def _request(self, k: int, msg: Tuple, expect: str):
+        """Send one command and await its reply, healing the worker
+        (respawn + journal replay + one re-send) if it died."""
+        try:
+            self._send(k, msg)
+            return self._recv(k, expect)
+        except ShardWorkerDeath as exc:
+            if not self._heal:
+                raise
+            self._respawn(k, reason=str(exc))
+            self._conns[k].send(msg)
+            return self._recv(k, expect)
+
     def _step(self, cmd: str, t: float) -> None:
         """One lock-stepped window: deliver ghosts, advance, gather."""
+        if self.barrier_hook is not None:
+            self.barrier_hook(self, self.windows, t)
         per_shard: List[List[Tuple[float, float, int, object, float]]] = [
             [] for _ in range(self.shards)
         ]
@@ -974,16 +1092,40 @@ class ShardedSimulator:
                 per_shard[k].append(
                     (commit, air_start, sender_id, frame, air_time))
         self._ghost_out = []
-        for k, conn in enumerate(self._conns):
-            conn.send((cmd, t, per_shard[k]))
+        for k in range(self.shards):
+            self._send(k, (cmd, t, per_shard[k]))
         cross_total = 0
         for k in range(self.shards):
-            _, commits, peek, n_cross = self._recv(k, "window")
+            try:
+                msg = self._recv(k, "window")
+            except ShardWorkerDeath as exc:
+                if not self._heal:
+                    raise
+                self._respawn(k, reason=str(exc))
+                self._conns[k].send((cmd, t, per_shard[k]))
+                msg = self._recv(k, "window")
+            _, commits, peek, n_cross = msg
             self._ghost_out.extend(commits)
             self._peeks[k] = peek
             cross_total += n_cross
         self.now = t
+        self.windows += 1
         self.barrier_log.append((t, cross_total))
+        self._journal.append(("window", cmd, t, per_shard))
+        if (self._heal and self._heal_every is not None
+                and len(self._journal) >= self._heal_every):
+            self._refresh_heal_base()
+
+    def _refresh_heal_base(self) -> None:
+        """Re-base self-healing on fresh worker checkpoints.
+
+        Bounds replay cost after a crash to ``heal_every`` windows; the
+        journal restarts empty against the new base."""
+        blobs = [self._request(k, ("checkpoint",), "ckpt")[1]
+                 for k in range(self.shards)]
+        self._base_payloads = [{"mode": "restore", "blob": blob}
+                               for blob in blobs]
+        self._journal = []
 
     # ------------------------------------------------------------------
     # phase surface
@@ -1033,19 +1175,16 @@ class ShardedSimulator:
 
     def start_metering(self) -> None:
         """Open the measurement window in every shard (one barrier)."""
-        for conn in self._conns:
-            conn.send(("meter",))
         for k in range(self.shards):
-            self._recv(k, "ok")
+            self._request(k, ("meter",), "ok")
+        self._journal.append(("meter",))
         self.metering = True
 
     def _capture_checkpoint(self) -> None:
-        for conn in self._conns:
-            conn.send(("checkpoint",))
         blobs: List[bytes] = []
         cross_total = 0
         for k in range(self.shards):
-            _, blob, n_cross = self._recv(k, "ckpt")
+            _, blob, n_cross = self._request(k, ("checkpoint",), "ckpt")
             blobs.append(blob)
             cross_total += n_cross
         payload = {
@@ -1073,9 +1212,7 @@ class ShardedSimulator:
 
     def finalize(self, duration: float) -> Dict[str, Any]:
         """Collect every shard's partials and merge (workers stay up)."""
-        for conn in self._conns:
-            conn.send(("collect",))
-        results = [self._recv(k, "result")[1]
+        results = [self._request(k, ("collect",), "result")[1]
                    for k in range(self.shards)]
         return merge_results(self.recipe, results, self.owner_of, duration)
 
@@ -1090,7 +1227,10 @@ class ShardedSimulator:
             proc.join(timeout=10)
             if proc.is_alive():  # pragma: no cover - hung worker
                 proc.terminate()
-                proc.join(timeout=10)
+                proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - SIGSTOPped worker
+                proc.kill()
+                proc.join(timeout=5)
         for conn in self._conns:
             try:
                 conn.close()
@@ -1281,9 +1421,22 @@ def run_sharded(
     warmup: float,
     duration: float,
     checkpoint_at: Optional[float] = None,
+    heal: bool = True,
+    heal_every: Optional[int] = None,
+    worker_timeout: Optional[float] = None,
+    barrier_hook=None,
 ) -> Dict[str, Any]:
-    """The recipe across ``shards`` workers, ``FlowSet.measure``-shaped."""
-    sharded = ShardedSimulator(recipe, shards)
+    """The recipe across ``shards`` workers, ``FlowSet.measure``-shaped.
+
+    ``heal``/``heal_every``/``worker_timeout`` configure worker
+    self-healing and ``barrier_hook`` is the per-window chaos hook —
+    all forwarded to :class:`ShardedSimulator`.  The merged result
+    carries the ``respawns`` log (empty when nothing died).
+    """
+    sharded = ShardedSimulator(recipe, shards, heal=heal,
+                               heal_every=heal_every,
+                               worker_timeout=worker_timeout,
+                               barrier_hook=barrier_hook)
     try:
         t0 = time.perf_counter()
         sharded.run(warmup, checkpoint_at=checkpoint_at)
@@ -1297,6 +1450,7 @@ def run_sharded(
         merged["barrier_log"] = list(sharded.barrier_log)
         merged["checkpoint"] = sharded.last_checkpoint
         merged["checkpoint_cross"] = sharded.last_checkpoint_cross
+        merged["respawns"] = list(sharded.respawns)
         return merged
     finally:
         sharded.close()

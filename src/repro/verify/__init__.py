@@ -26,6 +26,7 @@ from typing import List, Optional
 from repro.verify.engine import InvariantEngine, Violation
 from repro.verify.postrun import (
     check_all,
+    check_gateway_quiescent,
     check_no_armed_tcp_timers,
     check_quiescent,
     check_recovery_bound,
@@ -36,6 +37,7 @@ __all__ = [
     "InvariantEngine",
     "Violation",
     "check_all",
+    "check_gateway_quiescent",
     "check_no_armed_tcp_timers",
     "check_quiescent",
     "check_recovery_bound",

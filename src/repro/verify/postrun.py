@@ -83,6 +83,37 @@ def check_quiescent(sim, stacks: Sequence[object],
     return violations
 
 
+def check_gateway_quiescent(gateway, label: str = "gateway") -> List[str]:
+    """A gateway with no clients must hold no per-connection state.
+
+    Checked after load shedding / chaos abuse stops: every bridge torn
+    down, every byte returned to the splice budget, and the gateway's
+    own sim-side TCP stack empty.  A leak here is slow-motion overload
+    — each abusive client that leaves state behind shrinks the
+    capacity available to legitimate ones.
+    """
+    violations: List[str] = []
+    bridges = gateway.active_bridges()
+    if bridges:
+        violations.append(
+            f"{label}: {bridges} bridged connection(s) still open "
+            f"after all clients left"
+        )
+    pinned = gateway.splice_used()
+    if pinned:
+        violations.append(
+            f"{label}: {pinned} byte(s) still pinned against the "
+            f"splice budget"
+        )
+    live = gateway.tcp_stack.active_connections()
+    if live:
+        violations.append(
+            f"{label}: gateway TCP stack still holds {live} simulated "
+            f"connection(s)"
+        )
+    return violations
+
+
 def check_recovery_bound(
     done_at: Optional[float], last_fault_at: float, bound: float,
     errors: Sequence[object] = (), label: str = "recovery",

@@ -8,12 +8,15 @@ they exercise the whole stack the CI smoke job gates — just smaller.
 
 import asyncio
 import json
+import socket
+import struct
 
 import pytest
 
 from repro.experiments.topology import build_chain
 from repro.gateway import (
     Gateway,
+    GatewayLimits,
     LoadgenReport,
     MoteBinding,
     SessionBackoff,
@@ -363,6 +366,85 @@ class TestGatewayEndToEnd:
         gw = asyncio.run(scenario())
         assert len(gw._bridges) == 0
         assert gw.sim.metrics.snapshot()["gauges"]["gw.active"] == 0
+
+    def test_mid_splice_client_disconnect_releases_everything(self):
+        """A client that resets mid-upload must leave no state behind:
+        no bridge, no pinned splice bytes, sim-side teardown done."""
+        async def scenario():
+            net = build_chain(1, seed=1, accel=True)
+            sink = install_sink(net, 1, 7)
+            sink.pause()  # keep bytes in flight inside the bridge
+            gw = Gateway(net, [MoteBinding(node_id=1, sim_port=7)],
+                         speed=50.0, slack_budget=5.0,
+                         limits=GatewayLimits(splice_budget=1 << 20))
+            await gw.start()
+            try:
+                host, port = gw.endpoint(0)
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(bytes(range(256)) * 128)  # 32 KiB
+                await writer.drain()
+                for _ in range(100):  # some of it must be mid-splice
+                    if gw.splice_used() > 0:
+                        break
+                    await asyncio.sleep(0.05)
+                assert gw.splice_used() > 0
+                # a genuine RST (linger 0), not a polite FIN — the
+                # half-open path is a different, intentional behaviour
+                sock = writer.get_extra_info("socket")
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                                struct.pack("ii", 1, 0))
+                writer.transport.abort()
+                for _ in range(100):
+                    if gw.active_bridges() == 0 and gw.splice_used() == 0:
+                        break
+                    await asyncio.sleep(0.05)
+                return (gw.active_bridges(), gw.splice_used(),
+                        gw.sim.metrics.snapshot())
+            finally:
+                await gw.aclose()
+
+        bridges, pinned, snap = asyncio.run(scenario())
+        assert bridges == 0
+        assert pinned == 0
+        assert snap["gauges"]["gw.active"] == 0
+        assert snap["gauges"]["gw.splice_buffered"] == 0
+
+    def test_zero_window_mote_stalls_then_completes_upload(self):
+        """A paused sink closes its receive window; the upload must
+        stall losslessly and finish once the mote drains."""
+        async def scenario():
+            net = build_chain(1, seed=1, accel=True)
+            sink = install_sink(net, 1, 7)
+            sink.pause()  # mote advertises zero window once buffers fill
+            gw = Gateway(net, [MoteBinding(node_id=1, sim_port=7)],
+                         speed=50.0, slack_budget=5.0)
+            await gw.start()
+            try:
+                host, port = gw.endpoint(0)
+                payload = bytes(range(256)) * 64  # 16 KiB
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(payload)
+                writer.write_eof()
+                await writer.drain()
+                await asyncio.sleep(0.5)
+                stalled = sink.bytes  # nothing consumed while paused
+                sink.resume()
+                gw.runner.nudge()
+                # sink drains, sees the FIN, closes: client gets EOF
+                eof = await asyncio.wait_for(reader.read(-1), 60)
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+                return sink, len(payload), stalled, eof
+            finally:
+                await gw.aclose()
+
+        sink, nbytes, stalled, eof = asyncio.run(scenario())
+        assert stalled == 0
+        assert sink.bytes == nbytes
+        assert eof == b""
 
     def test_sink_receives_bulk_upload(self):
         async def scenario():

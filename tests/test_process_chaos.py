@@ -1,0 +1,187 @@
+"""Process-chaos tests: schedule validation, the WorkerChaos hook, and
+the self-healing acceptance pin — a sharded run with workers SIGKILLed
+and SIGSTOPped mid-campaign must produce merged results byte-identical
+to an unkilled run.
+"""
+
+import json
+
+import pytest
+
+from repro.faults import ProcessFaultSchedule, WorkerChaos, run_sharded_chaos
+from repro.sim.shard import default_gate_recipe
+from repro.verify import check_gateway_quiescent
+
+
+class TestProcessFaultSchedule:
+    def test_valid_spec_roundtrips(self):
+        spec = {
+            "name": "mixed",
+            "faults": [
+                {"kind": "worker_kill", "shard": 1, "window": 3},
+                {"kind": "worker_stall", "shard": 0, "window": 10,
+                 "resume_after": 5.0},
+                {"kind": "client_reset", "at": 0.5, "count": 4},
+                {"kind": "slow_loris", "at": 1.0},
+                {"kind": "partial_write", "at": 1.5, "bytes": 16},
+                {"kind": "accept_storm", "at": 2.0, "connections": 100},
+            ],
+        }
+        sched = ProcessFaultSchedule.from_dict(spec)
+        assert len(sched) == 6
+        # defaults filled in
+        assert sched.by_kind("slow_loris")[0]["hold"] == 10.0
+        assert sched.by_kind("slow_loris")[0]["prelude_bytes"] == 4
+        assert sched.by_kind("client_reset")[0]["count"] == 4
+        rebuilt = ProcessFaultSchedule.from_dict(sched.to_dict())
+        assert rebuilt.to_dict() == sched.to_dict()
+
+    def test_split_and_ordering(self):
+        sched = ProcessFaultSchedule([
+            {"kind": "accept_storm", "at": 3.0, "connections": 10},
+            {"kind": "worker_kill", "shard": 1, "window": 40},
+            {"kind": "client_reset", "at": 1.0},
+            {"kind": "worker_stall", "shard": 0, "window": 4},
+        ])
+        assert [f["window"] for f in sched.worker_faults()] == [4, 40]
+        assert [f["at"] for f in sched.gateway_ops()] == [1.0, 3.0]
+
+    def test_bare_list_accepted(self):
+        sched = ProcessFaultSchedule.from_dict(
+            [{"kind": "worker_kill", "shard": 0, "window": 1}])
+        assert len(sched) == 1
+
+    def test_from_json(self, tmp_path):
+        path = tmp_path / "chaos.json"
+        path.write_text(json.dumps({
+            "faults": [{"kind": "client_reset", "at": 0.0}]}))
+        assert len(ProcessFaultSchedule.from_json(path)) == 1
+
+    @pytest.mark.parametrize("entry,message", [
+        ({"kind": "disk_full"}, "unknown kind"),
+        ({"kind": "worker_kill", "shard": 0}, "missing 'window'"),
+        ({"kind": "worker_kill", "shard": 0, "window": 1, "x": 2},
+         "unknown fields"),
+        ({"kind": "worker_kill", "shard": 0.5, "window": 1},
+         "must be an integer"),
+        ({"kind": "client_reset", "at": -1.0}, "must be >= 0"),
+        ({"kind": "client_reset", "at": 0.0, "count": 0}, "must be >= 1"),
+        ({"kind": "accept_storm", "at": 0.0}, "missing 'connections'"),
+        ("not-a-dict", "must be an object"),
+    ])
+    def test_invalid_faults_rejected(self, entry, message):
+        with pytest.raises(ValueError, match=message):
+            ProcessFaultSchedule([entry])
+
+    def test_invalid_top_level_rejected(self):
+        with pytest.raises(ValueError, match="'faults' list"):
+            ProcessFaultSchedule.from_dict({"name": "x"})
+        with pytest.raises(ValueError, match="unknown top-level"):
+            ProcessFaultSchedule.from_dict({"faults": [], "extra": 1})
+
+
+class _FakeProc:
+    def __init__(self):
+        self.killed = False
+        self.pid = -1  # never a real pid
+
+    def kill(self):
+        self.killed = True
+
+
+class _FakeSharded:
+    def __init__(self, shards=2):
+        self.shards = shards
+        self._procs = [_FakeProc() for _ in range(shards)]
+
+
+class TestWorkerChaosHook:
+    def test_fires_once_at_or_after_its_window(self):
+        sched = ProcessFaultSchedule(
+            [{"kind": "worker_kill", "shard": 1, "window": 5}])
+        hook = WorkerChaos(sched)
+        sharded = _FakeSharded()
+        hook(sharded, 4, 0.4)
+        assert not sharded._procs[1].killed
+        hook(sharded, 7, 0.7)  # windows can jump past the target
+        assert sharded._procs[1].killed
+        assert hook.fired == [{"kind": "worker_kill", "shard": 1,
+                               "window": 7, "t": 0.7}]
+        hook(sharded, 8, 0.8)  # fires exactly once
+        assert len(hook.fired) == 1
+
+    def test_out_of_range_shard_rejected(self):
+        sched = ProcessFaultSchedule(
+            [{"kind": "worker_kill", "shard": 9, "window": 0}])
+        with pytest.raises(ValueError, match="out of range"):
+            WorkerChaos(sched)(_FakeSharded(shards=2), 0, 0.0)
+
+
+class _FakeStack:
+    def __init__(self, live):
+        self.live = live
+
+    def active_connections(self):
+        return self.live
+
+
+class _FakeGateway:
+    def __init__(self, bridges=0, pinned=0, live=0):
+        self._bridges = bridges
+        self._pinned = pinned
+        self.tcp_stack = _FakeStack(live)
+
+    def active_bridges(self):
+        return self._bridges
+
+    def splice_used(self):
+        return self._pinned
+
+
+class TestCheckGatewayQuiescent:
+    def test_clean_gateway_passes(self):
+        assert check_gateway_quiescent(_FakeGateway()) == []
+
+    def test_each_leak_is_its_own_violation(self):
+        violations = check_gateway_quiescent(
+            _FakeGateway(bridges=2, pinned=512, live=1))
+        assert len(violations) == 3
+        assert any("bridged" in v for v in violations)
+        assert any("splice" in v for v in violations)
+        assert any("TCP stack" in v for v in violations)
+
+
+class TestSelfHealingByteIdentity:
+    """The PR's acceptance pin: kill AND hang workers mid-campaign;
+    the healed run's merged trace/metrics/flows must be byte-identical
+    to a clean run.  The early kill replays from the fresh build
+    payload; the late stall lands past a ``heal_every`` rebase, so it
+    replays from a checkpoint base — both heal paths in one campaign.
+    """
+
+    def test_killed_and_stalled_workers_heal_byte_identical(self):
+        schedule = ProcessFaultSchedule.from_dict({
+            "name": "test-heal",
+            "faults": [
+                {"kind": "worker_kill", "shard": 1, "window": 3},
+                # resume_after far past worker_timeout: the heartbeat
+                # timeout must declare the worker hung and respawn it
+                {"kind": "worker_stall", "shard": 0, "window": 600,
+                 "resume_after": 60.0},
+            ],
+        })
+        report = run_sharded_chaos(
+            default_gate_recipe(), 2, schedule, warmup=1.0, duration=2.0,
+            heal_every=200, worker_timeout=2.0)
+        assert report["mismatches"] == []
+        assert report["faults_scheduled"] == 2
+        assert len(report["faults_fired"]) == 2
+        assert len(report["respawns"]) == 2
+        kill, stall = report["respawns"]
+        assert kill["shard"] == 1 and stall["shard"] == 0
+        # fresh-base replay covers every window up to the kill ...
+        assert kill["windows_replayed"] == 3
+        # ... while the checkpoint rebase bounds the stall's replay
+        assert stall["windows_replayed"] < 600
+        assert "no reply" in stall["reason"]  # the hung-worker path
+        assert report["ok"]
